@@ -1,0 +1,85 @@
+// Command mitmd runs a TLS intercepting proxy with one of the behavior
+// profiles from the study's product database — a lab instrument for
+// exercising the measurement tool against known interception behaviors.
+//
+// Usage:
+//
+//	mitmd -listen=:8443 -upstream=127.0.0.1:9443 -product="Bitdefender"
+//	mitmd -listen=:8443 -upstream=127.0.0.1:9443 -issuer="Evil Corp" -keybits=512 -md5
+//	mitmd -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"tlsfof/internal/certgen"
+	"tlsfof/internal/classify"
+	"tlsfof/internal/proxyengine"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8443", "listen address for intercepted clients")
+		upstream = flag.String("upstream", "", "authoritative server address (host:port); required unless -list")
+		product  = flag.String("product", "", "behavior profile from the product database (see -list)")
+		issuer   = flag.String("issuer", "", "custom Issuer Organization (ignored with -product)")
+		keyBits  = flag.Int("keybits", 1024, "forged-leaf key size for custom profiles")
+		md5      = flag.Bool("md5", false, "sign forgeries with MD5 (custom profiles)")
+		list     = flag.Bool("list", false, "list known products and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range classify.KnownProducts {
+			name := p.Name
+			if name == "" {
+				name = p.CommonName
+			}
+			fmt.Printf("%-42q %s\n", name, p.Category)
+		}
+		return
+	}
+	if *upstream == "" {
+		fmt.Fprintln(os.Stderr, "mitmd: -upstream is required")
+		os.Exit(1)
+	}
+
+	var profile proxyengine.Profile
+	if *product != "" {
+		p := classify.ProductByName(*product)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "mitmd: unknown product %q (try -list)\n", *product)
+			os.Exit(1)
+		}
+		profile = proxyengine.FromProduct(p)
+	} else {
+		profile = proxyengine.Profile{
+			ProductName: "custom",
+			IssuerOrg:   *issuer,
+			KeyBits:     *keyBits,
+		}
+		if *md5 {
+			profile.SigAlg = certgen.MD5WithRSA
+		}
+	}
+
+	engine, err := proxyengine.New(profile, proxyengine.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitmd: %v\n", err)
+		os.Exit(1)
+	}
+	ic := proxyengine.NewInterceptor(engine, func(host string) (net.Conn, error) {
+		return net.Dial("tcp", *upstream)
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitmd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mitmd: intercepting on %s → %s as %q (CA fingerprint available via probe)\n",
+		ln.Addr(), *upstream, profile.ProductName)
+	ic.Serve(ln, func(err error) { fmt.Fprintf(os.Stderr, "mitmd: %v\n", err) })
+}

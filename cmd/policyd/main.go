@@ -1,0 +1,82 @@
+// Command policyd serves a Flash socket policy file, optionally co-hosted
+// with a static HTTP responder on the same port — the captive-portal
+// workaround the paper deployed on port 80 (§3.1).
+//
+// Usage:
+//
+//	policyd -listen=:8843                 # policy protocol only
+//	policyd -listen=:8080 -http           # policy + HTTP mux on one port
+//	policyd -listen=:8843 -ports=443,8443 # restrict permitted ports
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"tlsfof/internal/policy"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8843", "listen address")
+		withHTTP = flag.Bool("http", false, "co-host a static HTTP responder on the same port")
+		ports    = flag.String("ports", "", "comma-separated ports the policy permits (default: all)")
+	)
+	flag.Parse()
+
+	file := policy.Permissive
+	if *ports != "" {
+		var ranges []policy.PortRange
+		for _, p := range strings.Split(*ports, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "policyd: bad port %q\n", p)
+				os.Exit(1)
+			}
+			ranges = append(ranges, policy.PortRange{Lo: v, Hi: v})
+		}
+		file = &policy.File{Rules: []policy.Rule{{Domain: "*", Ports: ranges}}}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "policyd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("policyd: serving socket policy on %s (http=%v)\n", ln.Addr(), *withHTTP)
+
+	if !*withHTTP {
+		policy.ListenAndServe(ln, file)
+		return
+	}
+	httpConns := make(chan net.Conn, 16)
+	mux := &policy.Mux{
+		Policy:   file,
+		Fallback: func(c net.Conn) { httpConns <- c },
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "tlsfof policyd: socket policy co-hosted on this port")
+	})}
+	go srv.Serve(chanListener{ch: httpConns, addr: ln.Addr()})
+	mux.Serve(ln)
+}
+
+type chanListener struct {
+	ch   chan net.Conn
+	addr net.Addr
+}
+
+func (l chanListener) Accept() (net.Conn, error) {
+	c, ok := <-l.ch
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+func (l chanListener) Close() error   { return nil }
+func (l chanListener) Addr() net.Addr { return l.addr }

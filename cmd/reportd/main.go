@@ -1,0 +1,90 @@
+// Command reportd runs the reporting server: it accepts the measurement
+// tool's concatenated-PEM POSTs, compares each chain against the
+// authoritative chain, and prints/export measurements — the server side of
+// Figure 4.
+//
+// The authoritative chain is supplied as a PEM file per host:
+//
+//	reportd -listen=:8080 -host=tlsresearch.byu.edu -reference=ref.pem
+//	reportd -listen=:8080 -refdir=refs/   # one <host>.pem per file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tlsfof/internal/classify"
+	"tlsfof/internal/core"
+	"tlsfof/internal/geo"
+	"tlsfof/internal/store"
+	"tlsfof/internal/x509util"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		host     = flag.String("host", "", "single probe host name (with -reference)")
+		refPath  = flag.String("reference", "", "PEM file with the authoritative chain for -host")
+		refDir   = flag.String("refdir", "", "directory of <host>.pem authoritative chains")
+		campaign = flag.String("campaign", "manual", "campaign label stamped onto measurements")
+	)
+	flag.Parse()
+
+	db := store.New(0)
+	col := core.NewCollector(classify.NewClassifier(), geo.NewDB(), db)
+	col.Campaign = *campaign
+
+	register := func(hostName, path string) {
+		pemBytes, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reportd: %v\n", err)
+			os.Exit(1)
+		}
+		chain, err := x509util.DecodeChainPEM(pemBytes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reportd: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		col.SetAuthoritative(hostName, chain)
+		fmt.Printf("reportd: registered authoritative chain for %s (%d certs)\n", hostName, len(chain))
+	}
+
+	switch {
+	case *host != "" && *refPath != "":
+		register(*host, *refPath)
+	case *refDir != "":
+		entries, err := os.ReadDir(*refDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reportd: %v\n", err)
+			os.Exit(1)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".pem") {
+				continue
+			}
+			register(strings.TrimSuffix(e.Name(), ".pem"), filepath.Join(*refDir, e.Name()))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "reportd: need -host + -reference, or -refdir")
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/report", col)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, db.String())
+	})
+	mux.HandleFunc("/export.csv", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		db.WriteCSV(w)
+	})
+	fmt.Printf("reportd: listening on %s (POST /report?host=..., GET /stats, GET /export.csv)\n", *listen)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "reportd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command tlsproxy-probe performs the paper's partial TLS handshake
+// against a server and prints the certificate chain the network path
+// presents. With -reference (a PEM file holding the authoritative chain)
+// it runs the full detection: mismatch anatomy and claimed-issuer
+// classification. Exit status 2 signals a detected TLS proxy.
+//
+// Usage:
+//
+//	tlsproxy-probe -addr=example.com:443
+//	tlsproxy-probe -addr=10.0.0.1:443 -sni=example.com -reference=ref.pem
+package main
+
+import (
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tlsfof"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "host:port to probe (required)")
+		sni     = flag.String("sni", "", "SNI server name (default: host from -addr)")
+		refPath = flag.String("reference", "", "PEM file with the authoritative chain; enables detection")
+		timeout = flag.Duration("timeout", 10*time.Second, "probe timeout")
+		pemOut  = flag.Bool("pem", false, "print the captured chain as PEM")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "tlsproxy-probe: -addr is required")
+		os.Exit(1)
+	}
+
+	report, err := tlsfof.Probe(*addr, *sni, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsproxy-probe: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("captured %d certificate(s) in %v\n", len(report.ChainDER), report.HandshakeTime.Round(time.Millisecond))
+	for i, der := range report.ChainDER {
+		cert, err := x509.ParseCertificate(der)
+		if err != nil {
+			fmt.Printf("  [%d] unparseable: %v\n", i, err)
+			continue
+		}
+		fmt.Printf("  [%d] subject=%q issuer=%q alg=%s\n",
+			i, cert.Subject.String(), cert.Issuer.String(), cert.SignatureAlgorithm)
+	}
+	if *pemOut {
+		os.Stdout.Write(report.ChainPEM)
+	}
+
+	if *refPath == "" {
+		return
+	}
+	refPEM, err := os.ReadFile(*refPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsproxy-probe: read reference: %v\n", err)
+		os.Exit(1)
+	}
+	host := *sni
+	if host == "" {
+		host = *addr
+	}
+	obs, err := tlsfof.DetectPEM(host, refPEM, report.ChainPEM)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlsproxy-probe: detect: %v\n", err)
+		os.Exit(1)
+	}
+	if !obs.Proxied {
+		fmt.Println("verdict: chains match — no TLS proxy detected")
+		return
+	}
+	fmt.Println("verdict: TLS PROXY DETECTED")
+	fmt.Printf("  claimed issuer: O=%q CN=%q (category: %s)\n", obs.IssuerOrg, obs.IssuerCN, obs.Category)
+	if obs.ProductName != "" {
+		fmt.Printf("  known product: %s\n", obs.ProductName)
+	}
+	fmt.Printf("  substitute key: %d bits (original %d)\n", obs.KeyBits, obs.OriginalKeyBits)
+	if obs.MD5Signed {
+		fmt.Println("  WARNING: substitute certificate signed with MD5")
+	}
+	if obs.IssuerCopied {
+		fmt.Println("  WARNING: substitute claims the authoritative issuer without its key")
+	}
+	if obs.SubjectDrift {
+		fmt.Println("  WARNING: substitute subject does not match the probed host")
+	}
+	os.Exit(2)
+}

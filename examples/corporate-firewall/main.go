@@ -1,0 +1,163 @@
+// Corporate-firewall scenario: whitelisting and upstream validation.
+//
+// Reproduces two findings about benevolent interception products:
+//
+//  1. §6.3 — whale whitelisting. A corporate firewall intercepts ordinary
+//     sites but passes extremely popular ones through untouched, which is
+//     why a Facebook-only measurement (Huang et al.) sees half the proxy
+//     rate the broad measurement sees.
+//
+//  2. §5.2 — upstream validation. Bitdefender refuses to connect when the
+//     upstream presents an invalid chain, while the Kurupira parental
+//     filter replaces the attacker's certificate with a trusted one,
+//     hiding the attack ("allowing attackers to perform a transparent
+//     man-in-the-middle attack against Kurupira users").
+//
+// Run with: go run ./examples/corporate-firewall
+package main
+
+import (
+	"crypto/x509/pkix"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"tlsfof"
+	"tlsfof/internal/certgen"
+	"tlsfof/internal/classify"
+	"tlsfof/internal/proxyengine"
+	"tlsfof/internal/tlswire"
+	"tlsfof/internal/x509util"
+)
+
+func serveChain(chains map[string][][]byte) (net.Listener, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go tlswire.Server(ln, tlswire.ResponderConfig{
+		Chain: func(sni string) ([][]byte, error) { return chains[sni], nil },
+	}, nil)
+	return ln, nil
+}
+
+func main() {
+	// Authoritative world: a trusted CA signs facebook and a low-profile
+	// site; an attacker CA (not trusted by anyone) forges a bank.
+	trusted, err := certgen.NewRootCA(certgen.CAConfig{
+		Subject: pkix.Name{CommonName: "GeoTrust Global CA", Organization: []string{"GeoTrust Inc."}},
+		KeyName: "example-trusted-ca",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := certgen.NewRootCA(certgen.CAConfig{
+		Subject: pkix.Name{CommonName: "Totally Legit CA"},
+		KeyName: "example-attacker-ca",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chains := make(map[string][][]byte)
+	for host, ca := range map[string]*certgen.CA{
+		"www.facebook.com": trusted,
+		"promodj.com":      trusted,
+		"bank.example":     attacker, // an active MitM upstream of the firewall
+	} {
+		leaf, err := ca.IssueLeaf(certgen.LeafConfig{CommonName: host})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chains[host] = leaf.ChainDER
+	}
+	upstreamLn, err := serveChain(chains)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer upstreamLn.Close()
+	dial := func(string) (net.Conn, error) { return net.Dial("tcp", upstreamLn.Addr().String()) }
+
+	probeThrough := func(ln net.Listener, host string) (*tlsfof.ProbeReport, error) {
+		return tlsfof.Probe(ln.Addr().String(), host, 5*time.Second)
+	}
+
+	// Scenario 1: a whale-whitelisting corporate firewall (Kaspersky
+	// profile from the product database).
+	fmt.Println("— Scenario 1: whale whitelisting (§6.3) —")
+	kaspersky := proxyengine.FromProduct(classify.ProductByName("Kaspersky Lab ZAO"))
+	engine, err := proxyengine.New(kaspersky, proxyengine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fwLn.Close()
+	go proxyengine.NewInterceptor(engine, dial).Serve(fwLn, nil)
+
+	for _, host := range []string{"www.facebook.com", "promodj.com"} {
+		rep, err := probeThrough(fwLn, host)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs, err := tlsfof.Detect(host, chains[host], rep.ChainDER)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s intercepted=%v", host, obs.Proxied)
+		if obs.Proxied {
+			fmt.Printf(" (issuer %q)", obs.IssuerOrg)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  → the whale passes through; the low-profile site is intercepted.")
+	fmt.Println("    A Facebook-only study undercounts exactly these proxies.")
+
+	// Scenario 2: upstream validation against an active attacker.
+	fmt.Println("\n— Scenario 2: forged upstream handling (§5.2) —")
+	bitdefender := proxyengine.FromProduct(classify.ProductByName("Bitdefender"))
+	bitdefender.UpstreamRoots = trusted.CertPool()
+	bdEngine, err := proxyengine.New(bitdefender, proxyengine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bdLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bdLn.Close()
+	go proxyengine.NewInterceptor(bdEngine, dial).Serve(bdLn, nil)
+
+	if _, err := probeThrough(bdLn, "bank.example"); err != nil {
+		fmt.Printf("  Bitdefender: connection BLOCKED (%v)\n", err)
+	} else {
+		fmt.Println("  Bitdefender: unexpectedly allowed the forged upstream")
+	}
+
+	kurupira := proxyengine.FromProduct(classify.ProductByName("Kurupira.NET"))
+	kurupira.UpstreamRoots = trusted.CertPool()
+	kuEngine, err := proxyengine.New(kurupira, proxyengine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kuLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer kuLn.Close()
+	go proxyengine.NewInterceptor(kuEngine, dial).Serve(kuLn, nil)
+
+	rep, err := probeThrough(kuLn, "bank.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := x509util.ParseChain(rep.ChainDER)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Kurupira: connection allowed; client sees issuer %q\n", parsed[0].Issuer.Organization)
+	fmt.Println("  → the attacker's invalid certificate was MASKED by a locally")
+	fmt.Println("    trusted forgery: the user gets a lock icon over a MitM'd path.")
+}

@@ -1,0 +1,95 @@
+// Quickstart: detect a TLS proxy on a live connection.
+//
+// The example builds the paper's Figure 3 topology entirely in-process,
+// over real TCP on loopback: an authoritative TLS server, a forging
+// interception proxy, and the measurement probe. It probes the direct
+// path (chains match) and the intercepted path (proxy detected), printing
+// the mismatch anatomy.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"crypto/x509/pkix"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"tlsfof"
+	"tlsfof/internal/certgen"
+	"tlsfof/internal/proxyengine"
+	"tlsfof/internal/tlswire"
+)
+
+func main() {
+	const host = "tlsresearch.byu.edu"
+
+	// 1. The authoritative server: a 2048-bit leaf from a commercial-CA
+	// analogue, served by the TLS responder.
+	authCA, err := certgen.NewRootCA(certgen.CAConfig{
+		Subject: pkix.Name{CommonName: "DigiCert High Assurance CA-3", Organization: []string{"DigiCert Inc"}},
+		KeyName: "quickstart-authority",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaf, err := authCA.IssueLeaf(certgen.LeafConfig{CommonName: host})
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer serverLn.Close()
+	go tlswire.Server(serverLn, tlswire.ResponderConfig{Chain: tlswire.StaticChain(leaf.ChainDER)}, nil)
+
+	// 2. Probe the direct path and keep the chain as the authoritative
+	// reference — what the study operator knows out of band.
+	direct, err := tlsfof.Probe(serverLn.Addr().String(), host, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct probe: %d certs in %v\n", len(direct.ChainDER), direct.HandshakeTime.Round(time.Microsecond))
+
+	obs, err := tlsfof.Detect(host, direct.ChainDER, direct.ChainDER)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct path verdict: proxied=%v\n\n", obs.Proxied)
+
+	// 3. Put an intercepting proxy on path — a personal-firewall profile
+	// that downgrades keys to 1024 bits, as half the proxies in the study
+	// did (§5.2).
+	engine, err := proxyengine.New(proxyengine.Profile{
+		ProductName: "Kaspersky Lab ZAO",
+		IssuerOrg:   "Kaspersky Lab ZAO",
+		KeyBits:     1024,
+	}, proxyengine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ic := proxyengine.NewInterceptor(engine, func(string) (net.Conn, error) {
+		return net.Dial("tcp", serverLn.Addr().String())
+	})
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxyLn.Close()
+	go ic.Serve(proxyLn, nil)
+
+	// 4. Probe through the proxy and detect.
+	intercepted, err := tlsfof.Probe(proxyLn.Addr().String(), host, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs, err = tlsfof.Detect(host, direct.ChainDER, intercepted.ChainDER)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("intercepted path verdict: proxied=%v\n", obs.Proxied)
+	fmt.Printf("  claimed issuer: %q (category: %s, product: %s)\n", obs.IssuerOrg, obs.Category, obs.ProductName)
+	fmt.Printf("  substitute key: %d bits (original %d) — weak=%v\n", obs.KeyBits, obs.OriginalKeyBits, obs.WeakKey)
+}

@@ -1,0 +1,170 @@
+package adsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tlsfof/internal/stats"
+)
+
+func within(t *testing.T, what string, got, want, tolFrac float64) {
+	t.Helper()
+	if math.Abs(got-want) > want*tolFrac {
+		t.Errorf("%s = %v, want %v ± %.0f%%", what, got, want, tolFrac*100)
+	}
+}
+
+func TestFirstStudyCampaignCalibration(t *testing.T) {
+	r := stats.NewRNG(1)
+	out, err := Run(FirstStudyCampaign(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1: 4,634,386 impressions, 3,897 clicks, $4,911.97.
+	within(t, "impressions", float64(out.Impressions), 4634386, 0.10)
+	within(t, "clicks", float64(out.Clicks), 3897, 0.15)
+	within(t, "cost", out.CostDollars(), 4911.97, 0.10)
+}
+
+func TestSecondStudyCampaignsCalibration(t *testing.T) {
+	r := stats.NewRNG(2)
+	outs, total, err := RunAll(SecondStudyCampaigns(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 6 {
+		t.Fatalf("campaigns = %d", len(outs))
+	}
+	// Table 2 totals: 5,079,298 impressions, 11,077 clicks, $6,090.19.
+	within(t, "total impressions", float64(total.Impressions), 5079298, 0.10)
+	within(t, "total clicks", float64(total.Clicks), 11077, 0.15)
+	within(t, "total cost", total.CostDollars(), 6090.19, 0.10)
+
+	byName := map[string]Outcome{}
+	for _, o := range outs {
+		byName[o.Campaign] = o
+	}
+	// Per-campaign shapes from Table 2.
+	within(t, "China impressions", float64(byName["China"].Impressions), 689233, 0.15)
+	within(t, "Pakistan clicks", float64(byName["Pakistan"].Clicks), 2536, 0.25)
+	within(t, "Global cost", byName["Global"].CostDollars(), 4021.78, 0.12)
+	// Country targeting is preserved.
+	if byName["China"].Country != "CN" || byName["Global"].Country != "" {
+		t.Error("campaign country labels wrong")
+	}
+	// The global campaign dwarfs each targeted one.
+	for _, name := range []string{"China", "Egypt", "Pakistan", "Russia", "Ukraine"} {
+		if byName[name].Impressions >= byName["Global"].Impressions {
+			t.Errorf("%s campaign outgrew the global campaign", name)
+		}
+	}
+}
+
+func TestBudgetCapsSpend(t *testing.T) {
+	r := stats.NewRNG(3)
+	c := Campaign{
+		Name:              "capped",
+		DailyBudgetCents:  1000,
+		Days:              5,
+		Keywords:          Study1Keywords,
+		EffectiveCPMCents: 100,
+	}
+	out, err := Run(c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CostCents > 5*1000 {
+		t.Fatalf("spend %d exceeds budget %d", out.CostCents, 5*1000)
+	}
+	if out.Impressions == 0 {
+		t.Fatal("no impressions served")
+	}
+}
+
+func TestMaxCPMCapsClearingPrice(t *testing.T) {
+	r := stats.NewRNG(4)
+	c := Campaign{
+		Name:              "bidcap",
+		DailyBudgetCents:  10000,
+		MaxCPMCents:       50, // bid below the market ecpm
+		Days:              2,
+		Keywords:          Study1Keywords,
+		EffectiveCPMCents: 500,
+	}
+	out, err := Run(c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a capped 50¢ CPM with a 100$/day budget: ≥ ~180k/day.
+	if out.Impressions < 300000 {
+		t.Fatalf("impressions = %d; bid cap not applied", out.Impressions)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := stats.NewRNG(5)
+	if _, err := Run(Campaign{Name: "x", DailyBudgetCents: 100}, r); err == nil {
+		t.Error("zero-day campaign accepted")
+	}
+	if _, err := Run(Campaign{Name: "x", Days: 1}, r); err == nil {
+		t.Error("zero-budget campaign accepted")
+	}
+}
+
+func TestKeywordDemandMonotonicity(t *testing.T) {
+	none := KeywordDemand(nil)
+	few := KeywordDemand(Study1Keywords[:3])
+	many := KeywordDemand(Study2Keywords)
+	if none >= few || few >= many {
+		t.Fatalf("demand not monotone: %v, %v, %v", none, few, many)
+	}
+	if many > 2.0 {
+		t.Fatalf("demand cap exceeded: %v", many)
+	}
+}
+
+func TestKeywordDemandDeterministic(t *testing.T) {
+	if KeywordDemand(Study2Keywords) != KeywordDemand(Study2Keywords) {
+		t.Fatal("keyword demand not deterministic")
+	}
+}
+
+func TestSortOutcomes(t *testing.T) {
+	outs := []Outcome{
+		{Campaign: "Ukraine", Country: "UA"},
+		{Campaign: "Global", Country: ""},
+		{Campaign: "China", Country: "CN"},
+	}
+	SortOutcomes(outs)
+	if outs[0].Campaign != "Global" || outs[1].Campaign != "China" || outs[2].Campaign != "Ukraine" {
+		t.Fatalf("order = %v", outs)
+	}
+}
+
+// Property: spend never exceeds budget × days and impressions are
+// non-negative for arbitrary small campaigns.
+func TestQuickBudgetInvariant(t *testing.T) {
+	r := stats.NewRNG(6)
+	f := func(budget uint16, days uint8, ecpm uint16) bool {
+		if budget == 0 || days == 0 {
+			return true
+		}
+		d := int(days%30) + 1
+		c := Campaign{
+			Name:              "q",
+			DailyBudgetCents:  int(budget) + 1,
+			Days:              d,
+			Keywords:          Study1Keywords,
+			EffectiveCPMCents: float64(ecpm%2000) + 1,
+		}
+		out, err := Run(c, r)
+		if err != nil {
+			return false
+		}
+		return out.CostCents <= c.DailyBudgetCents*d && out.Impressions >= 0 && out.Clicks <= out.Impressions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

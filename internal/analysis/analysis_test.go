@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tlsfof/internal/adsim"
+	"tlsfof/internal/classify"
+	"tlsfof/internal/core"
+	"tlsfof/internal/geo"
+	"tlsfof/internal/hostdb"
+	"tlsfof/internal/store"
+)
+
+// seededStore builds a small store with a known composition.
+func seededStore() (*store.DB, *geo.DB) {
+	db := store.New(0)
+	gdb := geo.NewDB()
+	add := func(country string, ip uint32, proxied bool, issuer string, cat classify.Category, keyBits int, hostCat hostdb.Category) {
+		m := core.Measurement{
+			Time:         time.Date(2014, 1, 10, 12, 0, 0, 0, time.UTC),
+			ClientIP:     ip,
+			Country:      country,
+			Host:         "tlsresearch.byu.edu",
+			HostCategory: hostCat,
+			Campaign:     "Global",
+		}
+		if proxied {
+			m.Obs = core.Observation{
+				Proxied: true, IssuerOrg: issuer, Category: cat,
+				KeyBits: keyBits, WeakKey: keyBits < 2048, ProductName: issuer,
+			}
+		} else {
+			m.Obs = core.Observation{KeyBits: 2048}
+		}
+		db.Ingest(m)
+	}
+	for i := uint32(0); i < 200; i++ {
+		add("US", 100+i, false, "", 0, 2048, hostdb.Authors)
+	}
+	for i := uint32(0); i < 50; i++ {
+		add("FR", 300+i, false, "", 0, 2048, hostdb.Popular)
+	}
+	add("US", 1, true, "Bitdefender", classify.BusinessPersonalFirewall, 1024, hostdb.Authors)
+	add("US", 2, true, "Bitdefender", classify.BusinessPersonalFirewall, 1024, hostdb.Authors)
+	add("FR", 3, true, "Sendori Inc", classify.Malware, 1024, hostdb.Popular)
+	return db, gdb
+}
+
+func render(t *testing.T, f func(*strings.Builder) error) string {
+	t.Helper()
+	var b strings.Builder
+	if err := f(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestTable1Render(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Table1(b, hostdb.SecondStudyHosts()) })
+	for _, want := range []string{"qq.com", "airdroid.com", "pornclipstv.com", "Popular", "Business", "Pornographic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	outs := []adsim.Outcome{
+		{Campaign: "Global", Impressions: 3285598, Clicks: 5424, CostCents: 402178},
+		{Campaign: "China", Country: "CN", Impressions: 689233, Clicks: 652, CostCents: 40141},
+	}
+	total := adsim.Outcome{Campaign: "Total", Impressions: 3974831, Clicks: 6076, CostCents: 442319}
+	out := render(t, func(b *strings.Builder) error { return Table2(b, outs, total) })
+	for _, want := range []string{"Global", "China", "3285598", "Total", "4021.78"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCountryTableRender(t *testing.T) {
+	db, gdb := seededStore()
+	out := render(t, func(b *strings.Builder) error { return Table3(b, db, gdb) })
+	if !strings.Contains(out, "United States") || !strings.Contains(out, "France") {
+		t.Fatalf("country names missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Total") {
+		t.Fatal("total row missing")
+	}
+	// US has 2 proxied, FR 1 — proxied ordering puts US first.
+	usIdx := strings.Index(out, "United States")
+	frIdx := strings.Index(out, "France")
+	if usIdx > frIdx {
+		t.Fatal("Table 3 not ordered by proxied count")
+	}
+}
+
+func TestTable4Render(t *testing.T) {
+	db, _ := seededStore()
+	out := render(t, func(b *strings.Builder) error { return Table4(b, db, 20) })
+	if !strings.Contains(out, "Bitdefender") || !strings.Contains(out, "Sendori Inc") {
+		t.Fatalf("issuers missing:\n%s", out)
+	}
+}
+
+func TestClassificationTableRender(t *testing.T) {
+	db, _ := seededStore()
+	out := render(t, func(b *strings.Builder) error { return Table5(b, db) })
+	// Every taxonomy row appears, even zero ones (as the paper prints).
+	for _, cat := range classify.AllCategories {
+		if !strings.Contains(out, cat.String()) {
+			t.Errorf("category %q missing:\n%s", cat, out)
+		}
+	}
+	if !strings.Contains(out, "66.67%") { // 2 of 3 proxied are firewall
+		t.Errorf("percent missing:\n%s", out)
+	}
+}
+
+func TestTable8Render(t *testing.T) {
+	db, _ := seededStore()
+	out := render(t, func(b *strings.Builder) error { return Table8(b, db) })
+	for _, cat := range hostdb.AllCategories {
+		if !strings.Contains(out, cat.String()) {
+			t.Errorf("host type %q missing", cat)
+		}
+	}
+}
+
+func TestNegligenceRender(t *testing.T) {
+	db, _ := seededStore()
+	out := render(t, func(b *strings.Builder) error { return Negligence(b, db) })
+	if !strings.Contains(out, "1024 bits") || !strings.Contains(out, "MD5") {
+		t.Fatalf("negligence rows missing:\n%s", out)
+	}
+}
+
+func TestProductsRender(t *testing.T) {
+	db, _ := seededStore()
+	out := render(t, func(b *strings.Builder) error { return Products(b, db, 10) })
+	if !strings.Contains(out, "Bitdefender") {
+		t.Fatalf("products missing:\n%s", out)
+	}
+}
+
+func TestFigure7ASCII(t *testing.T) {
+	db, gdb := seededStore()
+	out := render(t, func(b *strings.Builder) error { return Figure7ASCII(b, db, gdb) })
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "US") {
+		t.Fatalf("figure render:\n%s", out)
+	}
+}
+
+func TestFigure7SVG(t *testing.T) {
+	db, gdb := seededStore()
+	out := render(t, func(b *strings.Builder) error { return Figure7SVG(b, db, gdb) })
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.Contains(out, "US") || !strings.Contains(out, "rect") {
+		t.Fatal("SVG missing country cells")
+	}
+}
+
+func TestHeatmapDataFiltersAndSorts(t *testing.T) {
+	db, gdb := seededStore()
+	cells := HeatmapData(db, gdb, 100)
+	// Only US (201 tested) and FR (... 51) — with minTested 100 only US.
+	if len(cells) != 1 || cells[0].Code != "US" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	all := HeatmapData(db, gdb, 1)
+	if len(all) != 2 {
+		t.Fatalf("unfiltered cells = %d", len(all))
+	}
+	if all[0].Rate < all[1].Rate {
+		t.Fatal("cells not rate-descending")
+	}
+}
+
+func TestHeatColorGradient(t *testing.T) {
+	cold := heatColor(0)
+	hot := heatColor(1)
+	if cold == hot {
+		t.Fatal("gradient endpoints equal")
+	}
+	if heatColor(-1) != cold || heatColor(2) != hot {
+		t.Fatal("gradient not clamped")
+	}
+}
+
+func TestBaselineComparisonRender(t *testing.T) {
+	var b strings.Builder
+	if err := BaselineComparison(&b, 2861180, 11764, "www.facebook.com", 2800000, 5700); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0.41%") || !strings.Contains(out, "0.20%") {
+		t.Fatalf("rates missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2.0") { // ratio ≈ 2x
+		t.Fatalf("ratio missing:\n%s", out)
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tlsfof/internal/geo"
+	"tlsfof/internal/store"
+)
+
+// Figure 7 in the paper is a world heatmap of per-country TLS proxy
+// prevalence ("Highest = 12% proxy rate, lowest = 0%"). Without map
+// geometry we render the same data two ways: an ASCII bucket chart for
+// terminals and an SVG tile cartogram (one labeled cell per country,
+// colored by rate) for documents.
+
+// HeatCell is one country's figure datum.
+type HeatCell struct {
+	Code string
+	Name string
+	Rate float64
+	Agg  store.Agg
+}
+
+// HeatmapData extracts and sorts the figure's per-country rates,
+// rate-descending. minTested filters out countries with too few tests to
+// have a meaningful rate (the paper's map covers 228 countries and
+// territories; tiny denominators produce the extreme cells).
+func HeatmapData(db *store.DB, gdb *geo.DB, minTested int) []HeatCell {
+	rows := db.ByCountry(store.OrderByTested)
+	cells := make([]HeatCell, 0, len(rows))
+	for _, r := range rows {
+		if r.Tested < minTested || r.Code == "??" {
+			continue
+		}
+		cells = append(cells, HeatCell{
+			Code: r.Code,
+			Name: countryName(gdb, r.Code),
+			Rate: r.Rate(),
+			Agg:  r.Agg,
+		})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Rate != cells[j].Rate {
+			return cells[i].Rate > cells[j].Rate
+		}
+		return cells[i].Code < cells[j].Code
+	})
+	return cells
+}
+
+// heatBuckets partitions rates for the ASCII rendering, blue→red as in the
+// paper's legend.
+var heatBuckets = []struct {
+	min   float64
+	label string
+}{
+	{0.02, "█ >2.0%  (hottest)"},
+	{0.01, "▓ 1.0–2.0%"},
+	{0.005, "▒ 0.5–1.0%"},
+	{0.002, "░ 0.2–0.5%"},
+	{0.0005, "· 0.05–0.2%"},
+	{0, "  <0.05% (coolest)"},
+}
+
+func bucketOf(rate float64) int {
+	for i, b := range heatBuckets {
+		if rate >= b.min {
+			return i
+		}
+	}
+	return len(heatBuckets) - 1
+}
+
+// Figure7ASCII renders the heatmap as bucketed country lists.
+func Figure7ASCII(w io.Writer, db *store.DB, gdb *geo.DB) error {
+	cells := HeatmapData(db, gdb, 200)
+	fmt.Fprintln(w, "Figure 7: Heat-map of TLS proxy prevalence by country")
+	fmt.Fprintf(w, "(%d countries with sufficient data; paper: highest=12%%, lowest=0%%)\n", len(cells))
+	line(w, 72)
+	byBucket := make(map[int][]HeatCell)
+	for _, c := range cells {
+		b := bucketOf(c.Rate)
+		byBucket[b] = append(byBucket[b], c)
+	}
+	for i, b := range heatBuckets {
+		members := byBucket[i]
+		if len(members) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s  (%d countries)\n", b.label, len(members))
+		var codes []string
+		for _, m := range members {
+			codes = append(codes, fmt.Sprintf("%s %.2f%%", m.Code, 100*m.Rate))
+		}
+		for _, chunk := range chunkStrings(codes, 8) {
+			fmt.Fprintf(w, "    %s\n", strings.Join(chunk, "  "))
+		}
+	}
+	if len(cells) > 0 {
+		fmt.Fprintf(w, "hottest: %s (%s) %.2f%%   coolest: %s (%s) %.2f%%\n",
+			cells[0].Name, cells[0].Code, 100*cells[0].Rate,
+			cells[len(cells)-1].Name, cells[len(cells)-1].Code, 100*cells[len(cells)-1].Rate)
+	}
+	return nil
+}
+
+func chunkStrings(xs []string, n int) [][]string {
+	var out [][]string
+	for len(xs) > n {
+		out = append(out, xs[:n])
+		xs = xs[n:]
+	}
+	if len(xs) > 0 {
+		out = append(out, xs)
+	}
+	return out
+}
+
+// Figure7SVG writes a tile-cartogram SVG: a grid of country cells colored
+// blue (0%) through red (high), with a legend — the same encoding as the
+// paper's choropleth without map geometry.
+func Figure7SVG(w io.Writer, db *store.DB, gdb *geo.DB) error {
+	cells := HeatmapData(db, gdb, 200)
+	// Sort alphabetically for a stable grid.
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Code < cells[j].Code })
+	const (
+		cols   = 16
+		cell   = 52
+		pad    = 4
+		header = 40
+	)
+	rowsN := (len(cells) + cols - 1) / cols
+	width := cols*(cell+pad) + pad
+	height := header + rowsN*(cell+pad) + 60
+
+	var maxRate float64
+	for _, c := range cells {
+		if c.Rate > maxRate {
+			maxRate = c.Rate
+		}
+	}
+	if maxRate == 0 {
+		maxRate = 0.01
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace">`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="24" font-size="16">TLS proxy prevalence by country (Figure 7)</text>`+"\n", pad)
+	for i, c := range cells {
+		col := i % cols
+		row := i / cols
+		x := pad + col*(cell+pad)
+		y := header + row*(cell+pad)
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s: %.2f%% (%d/%d)</title></rect>`+"\n",
+			x, y, cell, cell, heatColor(c.Rate/maxRate), c.Name, 100*c.Rate, c.Agg.Proxied, c.Agg.Tested)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="12" fill="white">%s</text>`+"\n", x+6, y+20, c.Code)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="10" fill="white">%.2f%%</text>`+"\n", x+6, y+36, 100*c.Rate)
+	}
+	// Legend.
+	ly := header + rowsN*(cell+pad) + 16
+	for i := 0; i <= 10; i++ {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="24" height="14" fill="%s"/>`+"\n",
+			pad+i*24, ly, heatColor(float64(i)/10))
+	}
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="11">0%%</text>`+"\n", pad, ly+28)
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="11">%.1f%% (max)</text>`+"\n", pad+9*24, ly+28, 100*maxRate)
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+// heatColor maps a normalized rate in [0,1] to a blue→red gradient, the
+// paper's legend ("Low TLS-proxy rates are signified by blue and gradually
+// transition to red").
+func heatColor(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	r := int(40 + 200*t)
+	g := int(60 * (1 - t))
+	b := int(200 * (1 - t))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// BaselineComparison renders the Huang-style single-site comparison (§8):
+// broad measurement vs whale-only measurement.
+func BaselineComparison(w io.Writer, broadTested, broadProxied int, whaleHost string, whaleTested, whaleProxied int) error {
+	broadRate := 0.0
+	if broadTested > 0 {
+		broadRate = float64(broadProxied) / float64(broadTested)
+	}
+	whaleRate := 0.0
+	if whaleTested > 0 {
+		whaleRate = float64(whaleProxied) / float64(whaleTested)
+	}
+	fmt.Fprintln(w, "Baseline comparison: broad measurement vs whale-only (Huang et al.)")
+	line(w, 66)
+	fmt.Fprintf(w, "%-34s %10s %9s %8s\n", "Measurement", "Tested", "Proxied", "Rate")
+	line(w, 66)
+	fmt.Fprintf(w, "%-34s %10d %9d %7.2f%%\n", "Broad (this work, 18 hosts)", broadTested, broadProxied, 100*broadRate)
+	fmt.Fprintf(w, "%-34s %10d %9d %7.2f%%\n", "Whale-only ("+whaleHost+")", whaleTested, whaleProxied, 100*whaleRate)
+	line(w, 66)
+	if whaleRate > 0 {
+		fmt.Fprintf(w, "ratio: %.2fx (paper: 0.41%% vs Huang's 0.20%% ≈ 2x)\n", broadRate/whaleRate)
+	}
+	return nil
+}

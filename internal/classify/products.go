@@ -1,0 +1,148 @@
+package classify
+
+// Product is one entry in the product intelligence database: an entity the
+// study observed operating TLS proxies, with the behavioral facts §5 and §6
+// established about it. The same records drive both classification (this
+// package) and the behavior profiles the simulated proxies execute
+// (internal/proxyengine), so the reproduction has a single source of truth
+// about each product.
+type Product struct {
+	// Name is the canonical Issuer Organization string the product writes
+	// into substitute certificates. Empty for the null-issuer cohort.
+	Name string
+	// CommonName is the Issuer CN when the product identifies there
+	// instead of (or in addition to) the O field.
+	CommonName string
+	// Aliases are other issuer strings that map to this product.
+	Aliases []string
+
+	Category Category
+
+	// SpamAssociated marks companies "highly associated with spam"
+	// (Sweesh, AtomPark — §5.1).
+	SpamAssociated bool
+	// BotnetTies marks products with botnet evidence (Internet Widgits
+	// Pty Ltd, kowsar's pattern — §6.4).
+	BotnetTies bool
+	// SharedKey512 marks the IopFailZeroAccessCreate behavior: every
+	// substitute certificate carries the same 512-bit public key.
+	SharedKey512 bool
+	// InsertsAds marks ad-injection malware (WebMakerPlus, Superfish,
+	// Objectify Media).
+	InsertsAds bool
+	// CopiesIssuer marks proxies that copy the authoritative issuer onto
+	// forgeries (the false "DigiCert Inc" cohort — §5.2).
+	CopiesIssuer bool
+	// MasksInvalidUpstream marks the Kurupira flaw: an invalid upstream
+	// certificate is replaced with a trusted one, hiding real attacks.
+	MasksInvalidUpstream bool
+	// RejectsInvalidUpstream marks the correct behavior the authors
+	// verified for Bitdefender (§5.2).
+	RejectsInvalidUpstream bool
+	// WhitelistsWhales marks products that skip extremely popular sites
+	// (the behavior §6.3 infers from Huang's lower Facebook-only rate).
+	WhitelistsWhales bool
+	// KeyBits is the public key size the product mints (0 ⇒ 1024, the
+	// majority behavior per §5.2).
+	KeyBits int
+	// MD5 marks products signing substitutes with MD5.
+	MD5 bool
+	// UpgradesKey marks the minority that minted 2432-bit keys.
+	UpgradesKey bool
+	// WildcardIPSubject marks products whose forged subject is a
+	// wildcarded IP subnet rather than the probed hostname (§5.2).
+	WildcardIPSubject bool
+	// WrongDomainSubject marks products whose forged subject names an
+	// unrelated domain entirely (§5.2's mail.google.com case).
+	WrongDomainSubject bool
+}
+
+// KnownProducts is the study's product database: every issuer the paper
+// names, in rough Table 4 order, then the second study's additions.
+var KnownProducts = []Product{
+	// — Firewall / AV vendors (Table 4 ranks 1–7 minus malware) —
+	// Key-strength facts follow §5.2: roughly half of all substitute
+	// certificates kept 2048-bit keys (Bitdefender models that cohort)
+	// while the other half downgraded to 1024 (the KeyBits: 0 default).
+	{Name: "Bitdefender", Category: BusinessPersonalFirewall,
+		RejectsInvalidUpstream: true, WhitelistsWhales: true, KeyBits: 2048},
+	{Name: "PSafe Tecnologia S.A.", Category: BusinessPersonalFirewall},
+	{Name: "ESET spol. s r. o.", Aliases: []string{"ESET, spol. s r. o."},
+		Category: BusinessPersonalFirewall, WhitelistsWhales: true},
+	{Name: "Kaspersky Lab ZAO", Aliases: []string{"Kaspersky Lab"},
+		Category: BusinessPersonalFirewall, WhitelistsWhales: true},
+	{Name: "Fortinet", Aliases: []string{"Fortinet Ltd."},
+		Category: BusinessPersonalFirewall},
+	{Name: "NordNet", Category: BusinessPersonalFirewall},
+	{Name: "Sweesh LTD", Category: Malware, SpamAssociated: true, InsertsAds: true},
+	{Name: "AtomPark Software Inc", Category: Malware, SpamAssociated: true},
+
+	// — Parental controls —
+	{Name: "Kurupira.NET", Aliases: []string{"Kurupira"},
+		Category: ParentalControl, MasksInvalidUpstream: true},
+	{Name: "Qustodio", Category: ParentalControl},
+	{Name: "ContentWatch, Inc.", Aliases: []string{"ContentWatch"},
+		Category: ParentalControl},
+	{Name: "NetSpark, Inc.", Category: ParentalControl},
+
+	// — Organizations the paper names —
+	{Name: "POSCO", Category: Organization},
+	{Name: "Southern Company Services", Category: Organization},
+	{Name: "Target Corporation", Category: Organization},
+	{Name: "IBRD", Category: Organization},
+	{Name: "Cloud Services", Category: Organization},
+	{Name: "Lawrence Livermore National Laboratory", Category: Organization},
+	{Name: "Lincoln Financial Group", Category: Organization},
+	{Name: "DSP", Category: Organization},               // Dept. of Social Protection, Ireland (§6.4)
+	{Name: "Information Technology", Category: Unknown}, // 3 disparate orgs (§6.4)
+	{Name: "MYInternetS", Category: Unknown},            // 6 ISPs, 2 countries (§6.4)
+
+	// — Claimed certificate authorities —
+	{Name: "DigiCert Inc", CommonName: "DigiCert High Assurance CA-3",
+		Category: CertificateAuthority, CopiesIssuer: true},
+
+	// — Malware, first study (§5.1) —
+	{Name: "Sendori Inc", Aliases: []string{"Sendori, Inc"},
+		Category: Malware},
+	{Name: "WebMakerPlus Ltd", Category: Malware, InsertsAds: true},
+	// Every IopFailZeroAccessCreate certificate shared one 512-bit key,
+	// and §5.2's 21 MD5+512-bit certificates are exactly this cohort.
+	{Name: "", CommonName: "IopFailZeroAccessCreate", Category: Malware,
+		SharedKey512: true, BotnetTies: true, KeyBits: 512, MD5: true},
+
+	// — Malware, second study additions (§6.4) —
+	{Name: "Objectify Media Inc", Category: Malware, InsertsAds: true},
+	{Name: "Superfish, Inc.", Aliases: []string{"Superfish Inc"},
+		Category: Malware, InsertsAds: true},
+	{Name: "WiredTools LTD", Category: Malware},
+	{Name: "Internet Widgits Pty Ltd", Category: Malware, BotnetTies: true},
+	{Name: "ImpressX OU", Category: Malware},
+
+	// — Suspicious / telecom, second study —
+	{Name: "kowsar", Category: Unknown, BotnetTies: true},
+	{Name: "LG UPLUS", Aliases: []string{"LG U+"}, Category: Telecom},
+	{Name: "SK Broadband", Category: Telecom},
+	{Name: "Turk Telekom", Category: Telecom},
+	{Name: "Rostelecom", Category: Telecom},
+	{Name: "Telkom Indonesia", Category: Telecom},
+}
+
+// ProductByName returns the database record whose canonical name, common
+// name, or alias matches s exactly, or nil.
+func ProductByName(s string) *Product {
+	for i := range KnownProducts {
+		p := &KnownProducts[i]
+		if p.Name == s && s != "" {
+			return p
+		}
+		if p.CommonName == s && s != "" {
+			return p
+		}
+		for _, a := range p.Aliases {
+			if a == s {
+				return p
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"tlsfof/internal/classify"
+	"tlsfof/internal/geo"
+	"tlsfof/internal/hostdb"
+	"tlsfof/internal/x509util"
+)
+
+// Sink receives completed measurements. Implementations must be safe for
+// concurrent use; the study store (internal/store) is the standard one.
+type Sink interface {
+	Ingest(Measurement)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Measurement)
+
+// Ingest calls f(m).
+func (f SinkFunc) Ingest(m Measurement) { f(m) }
+
+// Collector is the reporting server: it knows the authoritative chain for
+// every probe host, and turns each uploaded chain into a Measurement
+// ("The server then compares the certificate received with the original it
+// sent. A mismatch indicates the presence of a TLS proxy", §3.1).
+type Collector struct {
+	// Classifier drives issuer classification; required.
+	Classifier *classify.Classifier
+	// Geo resolves client IPs to countries; optional (Country stays "").
+	Geo *geo.DB
+	// Sink receives every successful measurement; required.
+	Sink Sink
+	// Clock stamps measurements (time.Now when nil).
+	Clock func() time.Time
+	// Campaign labels measurements ingested via HTTP (the ad campaign the
+	// deployment ran under).
+	Campaign string
+
+	mu            sync.RWMutex
+	authoritative map[string][][]byte
+}
+
+// NewCollector constructs a collector with an empty authoritative set.
+func NewCollector(cl *classify.Classifier, g *geo.DB, sink Sink) *Collector {
+	return &Collector{
+		Classifier:    cl,
+		Geo:           g,
+		Sink:          sink,
+		authoritative: make(map[string][][]byte),
+	}
+}
+
+// SetAuthoritative registers the true chain for host. The study operator
+// obtains these out of band (they run the servers, or probe them from a
+// trusted vantage point).
+func (c *Collector) SetAuthoritative(host string, chainDER [][]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.authoritative[host] = chainDER
+}
+
+// Authoritative returns the registered chain for host.
+func (c *Collector) Authoritative(host string) ([][]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	chain, ok := c.authoritative[host]
+	return chain, ok
+}
+
+// Ingest processes one report that arrived by any transport: the client's
+// IP, the probed host, and the captured chain. It returns the derived
+// measurement after delivering it to the sink.
+func (c *Collector) Ingest(clientIP uint32, host string, observedDER [][]byte, campaign string) (Measurement, error) {
+	c.mu.RLock()
+	auth, ok := c.authoritative[host]
+	c.mu.RUnlock()
+	if !ok {
+		return Measurement{}, fmt.Errorf("core: no authoritative chain for %q", host)
+	}
+	obs, err := Observe(host, auth, observedDER, c.Classifier)
+	if err != nil {
+		return Measurement{}, err
+	}
+	now := time.Now
+	if c.Clock != nil {
+		now = c.Clock
+	}
+	m := Measurement{
+		Time:     now(),
+		ClientIP: clientIP,
+		Host:     host,
+		Campaign: campaign,
+		Obs:      obs,
+	}
+	if h, ok := hostdb.HostByName(host); ok {
+		m.HostCategory = h.Category
+	}
+	if c.Geo != nil {
+		if country, ok := c.Geo.LookupUint32(clientIP); ok {
+			m.Country = country.Code
+		}
+	}
+	c.Sink.Ingest(m)
+	return m, nil
+}
+
+// maxReportBytes bounds one uploaded report; hostile clients exist.
+const maxReportBytes = 1 << 20
+
+// ServeHTTP implements the report intake endpoint: POST with the probed
+// host in ?host= and concatenated PEM in the body.
+func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	host := r.URL.Query().Get("host")
+	if host == "" {
+		http.Error(w, "missing host parameter", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReportBytes+1))
+	if err != nil || len(body) > maxReportBytes {
+		http.Error(w, "bad body", http.StatusBadRequest)
+		return
+	}
+	chainDER, err := x509util.DecodeChainPEM(body)
+	if err != nil {
+		http.Error(w, "bad PEM", http.StatusBadRequest)
+		return
+	}
+	ip := clientIPFromRequest(r)
+	if _, err := c.Ingest(ip, host, chainDER, c.Campaign); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// clientIPFromRequest extracts the IPv4 peer address (0 when unavailable),
+// which the paper recorded alongside every certificate (§4).
+func clientIPFromRequest(r *http.Request) uint32 {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return 0
+	}
+	v4 := ip.To4()
+	if v4 == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(v4)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"tlsfof/internal/hostdb"
+	"tlsfof/internal/policy"
+	"tlsfof/internal/tlswire"
+	"tlsfof/internal/x509util"
+)
+
+// Dialer opens a TCP-like connection to the named service on a host. The
+// measurement tool needs two: one for the TLS port and one for the policy
+// port. Interception (a TLS proxy on path) is modeled by handing the tool
+// a dialer that routes through an Interceptor.
+type Dialer func(host string) (net.Conn, error)
+
+// Tool is the client-side measurement application — the Go equivalent of
+// the paper's ActionScript tool (§3). It runs "silently": no state beyond
+// its configuration, no user interaction, and it reports everything it
+// captures to the reporting server.
+type Tool struct {
+	// Hosts are probed in order: the first sequentially (the authors'
+	// site in the studies), the rest in parallel (§4.2).
+	Hosts []hostdb.Host
+
+	// DialTLS reaches a host's TLS port (443). Required.
+	DialTLS Dialer
+	// DialPolicy reaches a host's socket-policy service. When nil the
+	// policy pre-flight is skipped (useful against servers known
+	// permissive).
+	DialPolicy Dialer
+
+	// Report uploads one captured chain; required. The default transport
+	// is HTTPReporter.
+	Report func(host string, chainPEM []byte) error
+
+	// Timeout bounds each per-host exchange (default 10s).
+	Timeout time.Duration
+}
+
+// HostResult is the outcome of probing one host.
+type HostResult struct {
+	Host hostdb.Host
+	// Completed is true when a chain was captured and reported.
+	Completed bool
+	// Err describes the failure when !Completed.
+	Err error
+}
+
+// Run executes the measurement: policy pre-flight, partial handshake, and
+// report for every configured host. It returns per-host results; the
+// overall error is non-nil only for configuration mistakes.
+func (t *Tool) Run() ([]HostResult, error) {
+	if t.DialTLS == nil {
+		return nil, fmt.Errorf("core: Tool.DialTLS is required")
+	}
+	if t.Report == nil {
+		return nil, fmt.Errorf("core: Tool.Report is required")
+	}
+	if len(t.Hosts) == 0 {
+		return nil, fmt.Errorf("core: no hosts configured")
+	}
+	results := make([]HostResult, len(t.Hosts))
+
+	// First host sequentially (§4.2: "first test the connection to the
+	// authors' website, before attempting to test connections to the
+	// other hosts in parallel").
+	results[0] = t.probeOne(t.Hosts[0])
+
+	var wg sync.WaitGroup
+	for i := 1; i < len(t.Hosts); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = t.probeOne(t.Hosts[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+func (t *Tool) probeOne(h hostdb.Host) HostResult {
+	res := HostResult{Host: h}
+	timeout := t.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+
+	// Step 0: socket-policy pre-flight, as the Flash runtime did
+	// automatically before any socket connect.
+	if t.DialPolicy != nil {
+		conn, err := t.DialPolicy(h.Name)
+		if err != nil {
+			res.Err = fmt.Errorf("policy dial: %w", err)
+			return res
+		}
+		file, err := policy.Fetch(conn, timeout)
+		conn.Close()
+		if err != nil {
+			res.Err = fmt.Errorf("policy fetch: %w", err)
+			return res
+		}
+		if !file.PermissiveFor(443) {
+			res.Err = fmt.Errorf("policy for %s does not permit port 443", h.Name)
+			return res
+		}
+	}
+
+	// Step 1–2: partial TLS handshake, record ServerHello + Certificate.
+	conn, err := t.DialTLS(h.Name)
+	if err != nil {
+		res.Err = fmt.Errorf("tls dial: %w", err)
+		return res
+	}
+	probe, err := tlswire.Probe(conn, tlswire.ProbeOptions{ServerName: h.Name, Timeout: timeout})
+	conn.Close()
+	if err != nil {
+		res.Err = fmt.Errorf("probe: %w", err)
+		return res
+	}
+
+	// Step 3: report the chain, concatenated PEM (§3.2).
+	if err := t.Report(h.Name, x509util.EncodeChainPEM(probe.ChainDER)); err != nil {
+		res.Err = fmt.Errorf("report: %w", err)
+		return res
+	}
+	res.Completed = true
+	return res
+}
+
+// HTTPReporter returns a Report function that POSTs chains to the
+// collector endpoint, e.g. "http://reports.example/report". The probed
+// host rides in the query string; the body is the concatenated PEM.
+func HTTPReporter(endpoint string, client *http.Client) func(string, []byte) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func(host string, chainPEM []byte) error {
+		u := endpoint + "?host=" + url.QueryEscape(host)
+		resp, err := client.Post(u, "application/x-pem-file", bytes.NewReader(chainPEM))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("core: collector returned %s", resp.Status)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,118 @@
+// Package netsim is an in-memory internet: hosts addressable by name,
+// listeners, dialers, and — the part the reproduction needs — interception
+// points, where a TLS proxy sits on the path between a set of clients and
+// every server they reach (Figure 3's topology as a network object).
+//
+// Connections are net.Pipe pairs wrapped with optional latency, so the
+// exact same Tool/Responder/Interceptor code that runs over TCP in the
+// integration tests runs here without sockets. This keeps wire-mode
+// studies hermetic and lets tests build many-client topologies cheaply.
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network is an in-memory internet. Safe for concurrent use.
+type Network struct {
+	mu       sync.RWMutex
+	services map[string]Handler // "host:service" → handler
+	// Latency is the one-way delay applied to the first byte exchange of
+	// each connection (coarse model; 0 = instantaneous).
+	Latency time.Duration
+}
+
+// Handler serves one accepted connection; it owns closing it.
+type Handler func(net.Conn)
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{services: make(map[string]Handler)}
+}
+
+func key(host, service string) string { return host + ":" + service }
+
+// Services the reproduction uses.
+const (
+	ServiceTLS    = "tls"    // port 443 in the real deployments
+	ServicePolicy = "policy" // the socket-policy endpoint
+	ServiceHTTP   = "http"   // report intake
+)
+
+// Listen registers a handler for host's service, replacing any previous
+// one.
+func (n *Network) Listen(host, service string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.services[key(host, service)] = h
+}
+
+// Unlisten removes a service.
+func (n *Network) Unlisten(host, service string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.services, key(host, service))
+}
+
+// Dial connects to host's service, returning the client end. The server
+// handler runs in its own goroutine, as an accepted socket would.
+func (n *Network) Dial(host, service string) (net.Conn, error) {
+	n.mu.RLock()
+	h, ok := n.services[key(host, service)]
+	latency := n.Latency
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: connection refused: %s/%s", host, service)
+	}
+	client, server := net.Pipe()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	go h(server)
+	return client, nil
+}
+
+// Dialer returns a core/proxyengine-compatible dial function bound to one
+// service.
+func (n *Network) Dialer(service string) func(host string) (net.Conn, error) {
+	return func(host string) (net.Conn, error) { return n.Dial(host, service) }
+}
+
+// Intercepted returns a view of the network as seen by clients behind an
+// interceptor: every TLS dial is routed through tap, which receives the
+// client connection and the true upstream dialer. Non-TLS services pass
+// through. This models the proxy's position on the path — the client
+// addresses the real host, the proxy answers.
+func (n *Network) Intercepted(tap func(clientConn net.Conn, host string, upstream func(string) (net.Conn, error))) *View {
+	return &View{net: n, tap: tap}
+}
+
+// View is a client-side vantage point of a Network, optionally behind an
+// interception tap.
+type View struct {
+	net *Network
+	tap func(net.Conn, string, func(string) (net.Conn, error))
+}
+
+// Dial behaves like Network.Dial from this vantage point.
+func (v *View) Dial(host, service string) (net.Conn, error) {
+	if v.tap == nil || service != ServiceTLS {
+		return v.net.Dial(host, service)
+	}
+	// Hand the server end of a fresh pipe to the interceptor.
+	client, proxySide := net.Pipe()
+	go v.tap(proxySide, host, v.net.Dialer(ServiceTLS))
+	return client, nil
+}
+
+// Dialer returns a dial function bound to one service from this vantage
+// point.
+func (v *View) Dialer(service string) func(host string) (net.Conn, error) {
+	return func(host string) (net.Conn, error) { return v.Dial(host, service) }
+}
+
+// Direct returns an interception-free view (the same network, no tap).
+func (n *Network) Direct() *View { return &View{net: n} }

@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"crypto/x509/pkix"
+	"net"
+	"testing"
+	"time"
+
+	"tlsfof/internal/certgen"
+	"tlsfof/internal/classify"
+	"tlsfof/internal/core"
+	"tlsfof/internal/geo"
+	"tlsfof/internal/hostdb"
+	"tlsfof/internal/policy"
+	"tlsfof/internal/proxyengine"
+	"tlsfof/internal/tlswire"
+	"tlsfof/internal/x509util"
+)
+
+var pool = certgen.NewKeyPool(2, nil)
+
+func authLeaf(t testing.TB, host string) *certgen.Leaf {
+	t.Helper()
+	ca, err := certgen.NewRootCA(certgen.CAConfig{
+		Subject: pkix.Name{CommonName: "Netsim Root", Organization: []string{"Netsim CA"}},
+		KeyBits: 1024, Pool: pool, KeyName: "netsim-auth",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.IssueLeaf(certgen.LeafConfig{CommonName: host, KeyBits: 1024, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leaf
+}
+
+func TestDialUnknownHostRefused(t *testing.T) {
+	n := New()
+	if _, err := n.Dial("ghost.example", ServiceTLS); err == nil {
+		t.Fatal("dial to unregistered host succeeded")
+	}
+}
+
+func TestTLSOverNetsim(t *testing.T) {
+	const host = "sim.example"
+	n := New()
+	leaf := authLeaf(t, host)
+	n.Listen(host, ServiceTLS, func(c net.Conn) {
+		defer c.Close()
+		tlswire.Respond(c, tlswire.ResponderConfig{Chain: tlswire.StaticChain(leaf.ChainDER)})
+	})
+	conn, err := n.Dial(host, ServiceTLS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := tlswire.Probe(conn, tlswire.ProbeOptions{ServerName: host, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x509util.ChainsEqual(res.ChainDER, leaf.ChainDER) {
+		t.Fatal("chain corrupted across the simulated network")
+	}
+}
+
+func TestPolicyOverNetsim(t *testing.T) {
+	const host = "policy.example"
+	n := New()
+	n.Listen(host, ServicePolicy, func(c net.Conn) {
+		defer c.Close()
+		policy.Serve(c, policy.Permissive, 5*time.Second)
+	})
+	conn, err := n.Dial(host, ServicePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	f, err := policy.Fetch(conn, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.PermissiveFor(443) {
+		t.Fatal("policy lost permissiveness in transit")
+	}
+}
+
+func TestUnlisten(t *testing.T) {
+	n := New()
+	n.Listen("x.example", ServiceTLS, func(c net.Conn) { c.Close() })
+	n.Unlisten("x.example", ServiceTLS)
+	if _, err := n.Dial("x.example", ServiceTLS); err == nil {
+		t.Fatal("unlistened service still reachable")
+	}
+}
+
+// TestInterceptedView runs the paper's full client-side pipeline — policy
+// pre-flight, partial handshake, report — over the simulated network, once
+// directly and once from behind an interception tap, and checks the
+// collector's verdicts.
+func TestInterceptedView(t *testing.T) {
+	const host = "tlsresearch.byu.edu"
+	n := New()
+	leaf := authLeaf(t, host)
+	n.Listen(host, ServiceTLS, func(c net.Conn) {
+		defer c.Close()
+		tlswire.Respond(c, tlswire.ResponderConfig{Chain: tlswire.StaticChain(leaf.ChainDER)})
+	})
+	n.Listen(host, ServicePolicy, func(c net.Conn) {
+		defer c.Close()
+		policy.Serve(c, policy.Permissive, 5*time.Second)
+	})
+
+	engine, err := proxyengine.New(proxyengine.Profile{
+		ProductName: "PSafe Tecnologia S.A.", IssuerOrg: "PSafe Tecnologia S.A.",
+	}, proxyengine.Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var verdicts []core.Measurement
+	collector := core.NewCollector(classify.NewClassifier(), geo.NewDB(),
+		core.SinkFunc(func(m core.Measurement) { verdicts = append(verdicts, m) }))
+	collector.SetAuthoritative(host, leaf.ChainDER)
+
+	runTool := func(view *View) core.HostResult {
+		tool := &core.Tool{
+			Hosts:      []hostdb.Host{{Name: host, Category: hostdb.Authors}},
+			DialTLS:    view.Dialer(ServiceTLS),
+			DialPolicy: view.Dialer(ServicePolicy),
+			Report: func(h string, chainPEM []byte) error {
+				chain, err := x509util.DecodeChainPEM(chainPEM)
+				if err != nil {
+					return err
+				}
+				_, err = collector.Ingest(0x01020304, h, chain, "netsim")
+				return err
+			},
+			Timeout: 5 * time.Second,
+		}
+		results, err := tool.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0]
+	}
+
+	// Direct path: clean verdict.
+	if r := runTool(n.Direct()); !r.Completed {
+		t.Fatalf("direct run failed: %v", r.Err)
+	}
+	// Intercepted path: the tap hands each TLS connection to the proxy.
+	ic := proxyengine.NewInterceptor(engine, n.Dialer(ServiceTLS))
+	view := n.Intercepted(func(clientConn net.Conn, _ string, _ func(string) (net.Conn, error)) {
+		defer clientConn.Close()
+		ic.HandleConn(clientConn)
+	})
+	if r := runTool(view); !r.Completed {
+		t.Fatalf("intercepted run failed: %v", r.Err)
+	}
+
+	if len(verdicts) != 2 {
+		t.Fatalf("verdicts = %d", len(verdicts))
+	}
+	if verdicts[0].Obs.Proxied {
+		t.Fatal("direct path flagged as proxied")
+	}
+	if !verdicts[1].Obs.Proxied {
+		t.Fatal("intercepted path not flagged")
+	}
+	if verdicts[1].Obs.ProductName != "PSafe Tecnologia S.A." {
+		t.Fatalf("product = %q", verdicts[1].Obs.ProductName)
+	}
+}
+
+func TestManyClientsConcurrently(t *testing.T) {
+	const host = "busy.example"
+	n := New()
+	leaf := authLeaf(t, host)
+	n.Listen(host, ServiceTLS, func(c net.Conn) {
+		defer c.Close()
+		tlswire.Respond(c, tlswire.ResponderConfig{Chain: tlswire.StaticChain(leaf.ChainDER)})
+	})
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		go func() {
+			conn, err := n.Dial(host, ServiceTLS)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			_, err = tlswire.Probe(conn, tlswire.ProbeOptions{ServerName: host, Timeout: 10 * time.Second})
+			errs <- err
+		}()
+	}
+	for i := 0; i < 64; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := New()
+	n.Latency = 20 * time.Millisecond
+	n.Listen("slow.example", ServiceTLS, func(c net.Conn) { c.Close() })
+	start := time.Now()
+	conn, err := n.Dial("slow.example", ServiceTLS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("dial returned in %v; latency not applied", elapsed)
+	}
+}

@@ -1,0 +1,260 @@
+package proxyengine
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tlsfof/internal/certgen"
+)
+
+// Action is what the engine decided to do with one connection.
+type Action int
+
+const (
+	// ActionIntercept: the proxy forged a substitute chain.
+	ActionIntercept Action = iota
+	// ActionPassthrough: the host is whitelisted; traffic flows untouched.
+	ActionPassthrough
+	// ActionBlock: upstream validation failed and the profile rejects.
+	ActionBlock
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionIntercept:
+		return "intercept"
+	case ActionPassthrough:
+		return "passthrough"
+	case ActionBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// ErrUpstreamInvalid is returned when the profile rejects an upstream chain
+// that fails validation.
+var ErrUpstreamInvalid = errors.New("proxyengine: upstream certificate invalid")
+
+// Decision is the outcome of Engine.Decide for one host.
+type Decision struct {
+	Action Action
+	// ChainDER is the substitute chain when Action == ActionIntercept.
+	ChainDER [][]byte
+	// UpstreamValid records the proxy's own upstream validation verdict
+	// (true when validation is disabled).
+	UpstreamValid bool
+	// Masked is true when the upstream was invalid but the proxy forged a
+	// trusted substitute anyway — the Kurupira flaw in action.
+	Masked bool
+}
+
+// Engine forges substitute certificates per a Profile. It owns the root CA
+// that the interception product installed into its victims' root stores,
+// and caches one forgery per host exactly as real products do (§2: the
+// proxy "can issue a substitute certificate for any site the user visits").
+//
+// Engine is safe for concurrent use.
+type Engine struct {
+	Profile Profile
+	// CA is the proxy's signing authority; its certificate is what got
+	// injected into the client root store.
+	CA *certgen.CA
+
+	pool     *certgen.KeyPool
+	mu       sync.Mutex
+	cache    map[string]*certgen.Leaf
+	clockNow func() time.Time
+}
+
+// Options configures New.
+type Options struct {
+	// Pool supplies forged-leaf keys (DefaultPool when nil).
+	Pool *certgen.KeyPool
+	// CAKeyBits sizes the CA key (default 2048).
+	CAKeyBits int
+	// Now overrides the validity-period clock for deterministic tests.
+	Now func() time.Time
+}
+
+// New builds an engine: it mints the profile's root CA and prepares the
+// forgery cache.
+func New(profile Profile, opts Options) (*Engine, error) {
+	pool := opts.Pool
+	if pool == nil {
+		pool = certgen.DefaultPool
+	}
+	caBits := opts.CAKeyBits
+	if caBits == 0 {
+		caBits = 2048
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	// Each proxy identity gets its own named CA key: drawing from the
+	// shared round-robin pool could hand a proxy the same RSA key as the
+	// authoritative CA it forges against, which would make forged
+	// signatures genuinely verify.
+	ca, err := certgen.NewRootCA(certgen.CAConfig{
+		Subject:   profile.caSubject(),
+		KeyBits:   caBits,
+		Pool:      pool,
+		NotBefore: now().AddDate(-1, 0, 0),
+		KeyName:   "proxy-ca:" + profile.ProductName + "|" + profile.IssuerOrg + "|" + profile.IssuerCN,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proxyengine: mint CA for %q: %w", profile.ProductName, err)
+	}
+	return &Engine{
+		Profile:  profile,
+		CA:       ca,
+		pool:     pool,
+		cache:    make(map[string]*certgen.Leaf),
+		clockNow: now,
+	}, nil
+}
+
+// Decide runs the full interception decision for host, given the
+// authoritative upstream chain (leaf-first, parsed and raw).
+func (e *Engine) Decide(host string, upstream []*x509.Certificate, upstreamDER [][]byte) (Decision, error) {
+	if e.Profile.Whitelist != nil && e.Profile.Whitelist(host) {
+		return Decision{Action: ActionPassthrough, UpstreamValid: true}, nil
+	}
+
+	valid := true
+	if e.Profile.UpstreamRoots != nil && len(upstream) > 0 {
+		valid = e.validateUpstream(host, upstream)
+		if !valid && e.Profile.RejectInvalidUpstream {
+			return Decision{Action: ActionBlock, UpstreamValid: false}, ErrUpstreamInvalid
+		}
+		if !valid && !e.Profile.MaskInvalidUpstream {
+			// Without an explicit masking or rejecting stance a typical
+			// product forges anyway; record validity for the caller.
+			valid = false
+		}
+	}
+
+	chain, err := e.forge(host, upstream)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{
+		Action:        ActionIntercept,
+		ChainDER:      chain,
+		UpstreamValid: valid,
+		Masked:        !valid,
+	}, nil
+}
+
+func (e *Engine) validateUpstream(host string, upstream []*x509.Certificate) bool {
+	inter := x509.NewCertPool()
+	for _, c := range upstream[1:] {
+		inter.AddCert(c)
+	}
+	opts := x509.VerifyOptions{
+		Roots:         e.Profile.UpstreamRoots,
+		Intermediates: inter,
+		DNSName:       host,
+		CurrentTime:   e.clockNow(),
+	}
+	_, err := upstream[0].Verify(opts)
+	return err == nil
+}
+
+// forge returns the cached or freshly minted substitute chain for host.
+func (e *Engine) forge(host string, upstream []*x509.Certificate) ([][]byte, error) {
+	e.mu.Lock()
+	leaf, ok := e.cache[host]
+	e.mu.Unlock()
+	if ok {
+		return leaf.ChainDER, nil
+	}
+
+	cfg := certgen.LeafConfig{
+		CommonName: host,
+		KeyBits:    e.Profile.leafKeyBits(),
+		SigAlg:     e.Profile.SigAlg,
+		Pool:       e.pool,
+		NotBefore:  e.clockNow().Add(-24 * time.Hour),
+		NotAfter:   e.clockNow().AddDate(1, 0, 0),
+	}
+
+	switch e.Profile.SubjectMode {
+	case SubjectWildcardIP:
+		// A wildcarded IP subnet instead of the hostname.
+		cfg.Subject = &pkix.Name{CommonName: "*.64.112.0"}
+		cfg.DNSNames = []string{"*.64.112.0"}
+	case SubjectWrongDomain:
+		cfg.Subject = &pkix.Name{CommonName: "mail.google.com"}
+		cfg.DNSNames = []string{"mail.google.com"}
+	default:
+		// Copy the upstream subject CN when present; fall back to the
+		// probed host.
+		if len(upstream) > 0 && upstream[0].Subject.CommonName != "" {
+			cfg.CommonName = upstream[0].Subject.CommonName
+			cfg.DNSNames = append([]string{}, upstream[0].DNSNames...)
+			if len(cfg.DNSNames) == 0 {
+				cfg.DNSNames = []string{cfg.CommonName}
+			}
+		}
+	}
+
+	if e.Profile.CopyUpstreamIssuer && len(upstream) > 0 {
+		issuer := upstream[0].Issuer
+		cfg.Issuer = &issuer
+	}
+
+	if e.Profile.SharedKeyName != "" {
+		key, err := e.pool.Named(e.Profile.SharedKeyName, e.Profile.leafKeyBits())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Key = key
+	}
+
+	fresh, err := e.CA.IssueLeaf(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("proxyengine: forge for %q: %w", host, err)
+	}
+	e.mu.Lock()
+	// Keep the first forgery under concurrent misses so every client of
+	// this proxy sees the same substitute, as in the field data.
+	if existing, ok := e.cache[host]; ok {
+		fresh = existing
+	} else {
+		e.cache[host] = fresh
+	}
+	e.mu.Unlock()
+	return fresh.ChainDER, nil
+}
+
+// ForgedLeafKey exposes the private key behind the cached forgery for host
+// (nil when none); tests use it to confirm shared-key behavior.
+func (e *Engine) ForgedLeafKey(host string) *rsa.PrivateKey {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if leaf, ok := e.cache[host]; ok {
+		return leaf.Key
+	}
+	return nil
+}
+
+// CacheSize reports how many hosts have cached forgeries.
+func (e *Engine) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// HostnameForSNI normalizes an SNI value for interception decisions.
+func HostnameForSNI(sni string) string {
+	return strings.ToLower(strings.TrimSuffix(sni, "."))
+}

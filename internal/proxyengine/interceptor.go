@@ -1,0 +1,183 @@
+package proxyengine
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tlsfof/internal/tlswire"
+	"tlsfof/internal/x509util"
+)
+
+// Dialer opens a connection toward the authoritative server for host. The
+// in-memory network and real TCP both satisfy it.
+type Dialer func(host string) (net.Conn, error)
+
+// Interceptor mounts an Engine on the wire: it terminates client TLS
+// handshakes, fetches the authoritative chain from upstream, consults the
+// engine, and either serves the forged chain, splices the connection
+// through untouched (whitelist), or blocks it. This is Figure 3 of the
+// paper as running code.
+type Interceptor struct {
+	Engine *Engine
+	// Dial reaches the authoritative server; required.
+	Dial Dialer
+	// Timeout bounds each upstream probe (default 10s).
+	Timeout time.Duration
+
+	mu       sync.Mutex
+	upstream map[string][][]byte // authoritative chains, by host
+}
+
+// NewInterceptor wires an engine to an upstream dialer.
+func NewInterceptor(engine *Engine, dial Dialer) *Interceptor {
+	return &Interceptor{Engine: engine, Dial: dial, upstream: make(map[string][][]byte)}
+}
+
+// upstreamChain fetches (and caches) the authoritative chain for host by
+// performing the proxy's own handshake upstream — the right-hand TLS
+// connection in Figure 3.
+func (ic *Interceptor) upstreamChain(host string) ([][]byte, error) {
+	ic.mu.Lock()
+	chain, ok := ic.upstream[host]
+	ic.mu.Unlock()
+	if ok {
+		return chain, nil
+	}
+	conn, err := ic.Dial(host)
+	if err != nil {
+		return nil, fmt.Errorf("proxyengine: upstream dial %q: %w", host, err)
+	}
+	defer conn.Close()
+	timeout := ic.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	res, err := tlswire.Probe(conn, tlswire.ProbeOptions{ServerName: host, Timeout: timeout})
+	if err != nil {
+		return nil, fmt.Errorf("proxyengine: upstream probe %q: %w", host, err)
+	}
+	ic.mu.Lock()
+	ic.upstream[host] = res.ChainDER
+	ic.mu.Unlock()
+	return res.ChainDER, nil
+}
+
+// HandleConn processes one intercepted client connection. It reads the
+// ClientHello to learn the target host (SNI), then executes the engine's
+// decision on the wire. The caller owns closing clientConn.
+func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
+	// Buffer everything we read while sniffing the ClientHello so a
+	// passthrough can replay it to the upstream byte-for-byte.
+	var sniffed bytes.Buffer
+	tee := io.TeeReader(clientConn, &sniffed)
+	hr := tlswire.NewHandshakeReader(tlswire.NewRecordReader(tee))
+	msgType, body, err := hr.Next()
+	if err != nil {
+		return fmt.Errorf("proxyengine: read ClientHello: %w", err)
+	}
+	if msgType != tlswire.TypeClientHello {
+		return fmt.Errorf("proxyengine: expected ClientHello, got type %d", msgType)
+	}
+	var ch tlswire.ClientHello
+	if err := tlswire.ParseClientHello(body, &ch); err != nil {
+		return err
+	}
+	host := HostnameForSNI(ch.ServerName)
+	if host == "" {
+		return fmt.Errorf("proxyengine: client sent no SNI; cannot route")
+	}
+
+	upstreamDER, err := ic.upstreamChain(host)
+	if err != nil {
+		_ = tlswire.WriteAlert(clientConn, tlswire.VersionTLS12,
+			tlswire.Alert{Level: tlswire.AlertLevelFatal, Description: tlswire.AlertInternalError})
+		return err
+	}
+	upstream, err := x509util.ParseChain(upstreamDER)
+	if err != nil {
+		return err
+	}
+
+	decision, err := ic.Engine.Decide(host, upstream, upstreamDER)
+	switch decision.Action {
+	case ActionBlock:
+		// Bitdefender behavior: refuse the connection outright.
+		_ = tlswire.WriteAlert(clientConn, tlswire.VersionTLS12,
+			tlswire.Alert{Level: tlswire.AlertLevelFatal, Description: tlswire.AlertHandshakeFailure})
+		return err
+
+	case ActionPassthrough:
+		return ic.splice(clientConn, host, sniffed.Bytes())
+
+	case ActionIntercept:
+		if err != nil {
+			return err
+		}
+		replay := &replayConn{Conn: clientConn, pre: bytes.NewReader(sniffed.Bytes())}
+		return tlswire.Respond(replay, tlswire.ResponderConfig{
+			Chain: tlswire.StaticChain(decision.ChainDER),
+		})
+	default:
+		return fmt.Errorf("proxyengine: unknown action %v", decision.Action)
+	}
+}
+
+// splice connects the client to the real upstream and copies bytes both
+// ways — whitelisted traffic is genuinely untouched.
+func (ic *Interceptor) splice(clientConn net.Conn, host string, alreadyRead []byte) error {
+	upstream, err := ic.Dial(host)
+	if err != nil {
+		return fmt.Errorf("proxyengine: passthrough dial %q: %w", host, err)
+	}
+	defer upstream.Close()
+	if _, err := upstream.Write(alreadyRead); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		io.Copy(upstream, clientConn)
+		// Half-close toward upstream if supported so the server sees EOF.
+		if cw, ok := upstream.(interface{ CloseWrite() error }); ok {
+			cw.CloseWrite()
+		}
+		close(done)
+	}()
+	io.Copy(clientConn, upstream)
+	<-done
+	return nil
+}
+
+// Serve accepts and handles connections until ln closes. Per-connection
+// errors go to onErr when non-nil.
+func (ic *Interceptor) Serve(ln net.Listener, onErr func(error)) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			if err := ic.HandleConn(conn); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}()
+	}
+}
+
+// replayConn replays pre-read bytes before continuing with the live
+// connection.
+type replayConn struct {
+	net.Conn
+	pre *bytes.Reader
+}
+
+func (c *replayConn) Read(p []byte) (int, error) {
+	if c.pre.Len() > 0 {
+		return c.pre.Read(p)
+	}
+	return c.Conn.Read(p)
+}

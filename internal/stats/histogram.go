@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter tallies occurrences of string keys. It backs every "top-N values
+// of field X" table in the analysis pipeline (e.g. Table 4's Issuer
+// Organization histogram).
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments key by one.
+func (c *Counter) Add(key string) { c.AddN(key, 1) }
+
+// AddN increments key by n.
+func (c *Counter) AddN(key string, n int) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Count returns the tally for key.
+func (c *Counter) Count(key string) int { return c.counts[key] }
+
+// Total returns the sum of all tallies.
+func (c *Counter) Total() int { return c.total }
+
+// Distinct returns the number of distinct keys observed.
+func (c *Counter) Distinct() int { return len(c.counts) }
+
+// Entry is one (key, count) pair from a Counter.
+type Entry struct {
+	Key   string
+	Count int
+}
+
+// Top returns the n largest entries, count-descending with key as the
+// tiebreaker so output order is deterministic. n <= 0 returns all entries.
+func (c *Counter) Top(n int) []Entry {
+	all := make([]Entry, 0, len(c.counts))
+	for k, v := range c.counts {
+		all = append(all, Entry{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if n > 0 && n < len(all) {
+		return all[:n]
+	}
+	return all
+}
+
+// Histogram aggregates float64 observations into fixed-width bins for the
+// distribution summaries in EXPERIMENTS.md.
+type Histogram struct {
+	min, width float64
+	bins       []int
+	under      int
+	over       int
+	n          int
+	sum        float64
+}
+
+// NewHistogram creates a histogram covering [min, max) with the given number
+// of equal-width bins.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs bins > 0")
+	}
+	if max <= min {
+		return nil, fmt.Errorf("stats: histogram needs max > min")
+	}
+	return &Histogram{
+		min:   min,
+		width: (max - min) / float64(bins),
+		bins:  make([]int, bins),
+	}, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.n++
+	h.sum += v
+	idx := int((v - h.min) / h.width)
+	switch {
+	case v < h.min:
+		h.under++
+	case idx >= len(h.bins):
+		h.over++
+	default:
+		h.bins[idx]++
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Mean returns the running mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// String renders a compact ASCII bar chart, one bin per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.bins {
+		lo := h.min + float64(i)*h.width
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "[%10.4f, %10.4f) %8d %s\n", lo, lo+h.width, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.over)
+	}
+	return b.String()
+}

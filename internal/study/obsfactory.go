@@ -1,0 +1,214 @@
+package study
+
+import (
+	"fmt"
+	"sync"
+
+	"tlsfof/internal/certgen"
+	"tlsfof/internal/classify"
+	"tlsfof/internal/clientpop"
+	"tlsfof/internal/core"
+	"tlsfof/internal/hostdb"
+	"tlsfof/internal/proxyengine"
+	"tlsfof/internal/x509util"
+)
+
+// behaviorSig is the mechanical fingerprint of a product's forging
+// behavior. Products sharing a signature produce byte-equivalent forgeries
+// up to issuer naming, so fast mode runs one real proxy engine per
+// signature and derives per-product observations from it (DESIGN.md §5).
+type behaviorSig struct {
+	keyBits      int
+	md5          bool
+	sharedKey    bool
+	copiesIssuer bool
+	subjectMode  proxyengine.SubjectMode
+}
+
+func sigOf(p *classify.Product) behaviorSig {
+	s := behaviorSig{keyBits: p.KeyBits}
+	if s.keyBits == 0 {
+		s.keyBits = 1024
+	}
+	if p.UpgradesKey {
+		s.keyBits = 2432
+	}
+	if p.SharedKey512 {
+		s.keyBits = 512
+		s.sharedKey = true
+	}
+	s.md5 = p.MD5
+	s.copiesIssuer = p.CopiesIssuer
+	switch {
+	case p.WildcardIPSubject:
+		s.subjectMode = proxyengine.SubjectWildcardIP
+	case p.WrongDomainSubject:
+		s.subjectMode = proxyengine.SubjectWrongDomain
+	}
+	return s
+}
+
+// obsFactory produces core.Observation values for (deployment, host) pairs
+// using real forging engines, memoizing aggressively: the 12.3M-test study
+// touches at most |deployments| × |hosts| distinct pairs.
+type obsFactory struct {
+	classifier *classify.Classifier
+	pool       *certgen.KeyPool
+	hosts      []hostdb.Host
+	auth       *Authoritative
+
+	mu      sync.Mutex
+	clean   map[string]core.Observation
+	engines map[behaviorSig]*proxyengine.Engine
+	sigObs  map[behaviorSig]map[string]core.Observation
+	// final per-deployment observation cache: [depIdx][hostIdx]
+	final [][]*core.Observation
+}
+
+func newObsFactory(cl *classify.Classifier, pool *certgen.KeyPool, hosts []hostdb.Host, auth *Authoritative, deployments int) *obsFactory {
+	f := &obsFactory{
+		classifier: cl,
+		pool:       pool,
+		hosts:      hosts,
+		auth:       auth,
+		clean:      make(map[string]core.Observation, len(hosts)),
+		engines:    make(map[behaviorSig]*proxyengine.Engine),
+		sigObs:     make(map[behaviorSig]map[string]core.Observation),
+		final:      make([][]*core.Observation, deployments),
+	}
+	for i := range f.final {
+		f.final[i] = make([]*core.Observation, len(hosts))
+	}
+	return f
+}
+
+// cleanObservation returns the no-proxy observation for host.
+func (f *obsFactory) cleanObservation(host string) (core.Observation, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if o, ok := f.clean[host]; ok {
+		return o, nil
+	}
+	chain, ok := f.auth.Chains[host]
+	if !ok {
+		return core.Observation{}, fmt.Errorf("study: no authoritative chain for %q", host)
+	}
+	o, err := core.Observe(host, chain, chain, f.classifier)
+	if err != nil {
+		return core.Observation{}, err
+	}
+	f.clean[host] = o
+	return o, nil
+}
+
+// observation returns the measurement observation for a proxied client of
+// deployment depIdx probing hostIdx. Whale-whitelisting products pass
+// whale hosts through, yielding the clean observation — matching the wire
+// interceptor's splice path.
+func (f *obsFactory) observation(deps []clientpop.Deployment, depIdx, hostIdx int) (core.Observation, error) {
+	host := f.hosts[hostIdx]
+	p := deps[depIdx].Product
+	if p.WhitelistsWhales && proxyengine.WhaleWhitelist(host.Name) {
+		return f.cleanObservation(host.Name)
+	}
+
+	f.mu.Lock()
+	if o := f.final[depIdx][hostIdx]; o != nil {
+		f.mu.Unlock()
+		return *o, nil
+	}
+	f.mu.Unlock()
+
+	sig := sigOf(p)
+	base, err := f.signatureObservation(sig, host.Name)
+	if err != nil {
+		return core.Observation{}, err
+	}
+
+	o := base
+	if !sig.copiesIssuer {
+		// Re-brand the archetype forgery with this product's issuer
+		// identity and re-classify — the only per-product difference
+		// within a signature class.
+		o.IssuerOrg = p.Name
+		o.IssuerCN = p.CommonName
+		if o.IssuerCN == "" && p.Name != "" {
+			o.IssuerCN = p.Name + " CA"
+		}
+		o.IssuerOU = ""
+		res := f.classifier.Classify(o.IssuerOrg, o.IssuerCN, o.IssuerOU)
+		o.Category = res.Category
+		o.NullIssuer = res.NullIssuer
+		o.ProductName = ""
+		if res.Product != nil {
+			o.ProductName = res.Product.Name
+			if o.ProductName == "" {
+				o.ProductName = res.Product.CommonName
+			}
+		}
+	}
+
+	f.mu.Lock()
+	f.final[depIdx][hostIdx] = &o
+	f.mu.Unlock()
+	return o, nil
+}
+
+// signatureObservation forges (once) and observes the archetype chain for
+// a behavior signature against one host.
+func (f *obsFactory) signatureObservation(sig behaviorSig, host string) (core.Observation, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if byHost, ok := f.sigObs[sig]; ok {
+		if o, ok := byHost[host]; ok {
+			return o, nil
+		}
+	}
+	engine, ok := f.engines[sig]
+	if !ok {
+		profile := proxyengine.Profile{
+			ProductName: fmt.Sprintf("archetype-%db", sig.keyBits),
+			IssuerOrg:   "Archetype Interceptor",
+			IssuerCN:    "Archetype Interceptor CA",
+			KeyBits:     sig.keyBits,
+			SubjectMode: sig.subjectMode,
+		}
+		if sig.md5 {
+			profile.SigAlg = certgen.MD5WithRSA
+		}
+		if sig.sharedKey {
+			profile.SharedKeyName = fmt.Sprintf("shared-%db", sig.keyBits)
+		}
+		if sig.copiesIssuer {
+			profile.CopyUpstreamIssuer = true
+		}
+		var err error
+		engine, err = proxyengine.New(profile, proxyengine.Options{Pool: f.pool})
+		if err != nil {
+			return core.Observation{}, err
+		}
+		f.engines[sig] = engine
+	}
+
+	authChain, ok := f.auth.Chains[host]
+	if !ok {
+		return core.Observation{}, fmt.Errorf("study: no authoritative chain for %q", host)
+	}
+	upstream, err := x509util.ParseChain(authChain)
+	if err != nil {
+		return core.Observation{}, err
+	}
+	decision, err := engine.Decide(host, upstream, authChain)
+	if err != nil {
+		return core.Observation{}, err
+	}
+	o, err := core.Observe(host, authChain, decision.ChainDER, f.classifier)
+	if err != nil {
+		return core.Observation{}, err
+	}
+	if f.sigObs[sig] == nil {
+		f.sigObs[sig] = make(map[string]core.Observation)
+	}
+	f.sigObs[sig][host] = o
+	return o, nil
+}

@@ -1,0 +1,58 @@
+package tlswire
+
+// Cipher suite identifiers the probe offers. The set mirrors what a
+// 2014-era browser stack advertised, which matters because interception
+// products fingerprint ClientHellos and a threadbare offer list would be
+// detectable (§3.3 notes proxies could evade a known methodology).
+const (
+	TLSRSAWithRC4128SHA         uint16 = 0x0005
+	TLSRSAWith3DESEDECBCSHA     uint16 = 0x000a
+	TLSRSAWithAES128CBCSHA      uint16 = 0x002f
+	TLSRSAWithAES256CBCSHA      uint16 = 0x0035
+	TLSRSAWithAES128CBCSHA256   uint16 = 0x003c
+	TLSRSAWithAES128GCMSHA256   uint16 = 0x009c
+	TLSECDHERSAWithAES128CBCSHA uint16 = 0xc013
+	TLSECDHERSAWithAES256CBCSHA uint16 = 0xc014
+	TLSECDHERSAWithAES128GCM256 uint16 = 0xc02f
+)
+
+// DefaultCipherSuites is the probe's offered list, most-preferred first.
+var DefaultCipherSuites = []uint16{
+	TLSECDHERSAWithAES128GCM256,
+	TLSRSAWithAES128GCMSHA256,
+	TLSECDHERSAWithAES128CBCSHA,
+	TLSECDHERSAWithAES256CBCSHA,
+	TLSRSAWithAES128CBCSHA256,
+	TLSRSAWithAES128CBCSHA,
+	TLSRSAWithAES256CBCSHA,
+	TLSRSAWith3DESEDECBCSHA,
+	TLSRSAWithRC4128SHA,
+}
+
+var cipherSuiteNames = map[uint16]string{
+	TLSRSAWithRC4128SHA:         "TLS_RSA_WITH_RC4_128_SHA",
+	TLSRSAWith3DESEDECBCSHA:     "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+	TLSRSAWithAES128CBCSHA:      "TLS_RSA_WITH_AES_128_CBC_SHA",
+	TLSRSAWithAES256CBCSHA:      "TLS_RSA_WITH_AES_256_CBC_SHA",
+	TLSRSAWithAES128CBCSHA256:   "TLS_RSA_WITH_AES_128_CBC_SHA256",
+	TLSRSAWithAES128GCMSHA256:   "TLS_RSA_WITH_AES_128_GCM_SHA256",
+	TLSECDHERSAWithAES128CBCSHA: "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+	TLSECDHERSAWithAES256CBCSHA: "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+	TLSECDHERSAWithAES128GCM256: "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+}
+
+// CipherSuiteName returns the IANA name for a suite, or a hex rendering for
+// unknown values.
+func CipherSuiteName(id uint16) string {
+	if name, ok := cipherSuiteNames[id]; ok {
+		return name
+	}
+	return "UNKNOWN_0x" + hexU16(id)
+}
+
+func hexU16(v uint16) string {
+	const digits = "0123456789abcdef"
+	return string([]byte{
+		digits[v>>12&0xf], digits[v>>8&0xf], digits[v>>4&0xf], digits[v&0xf],
+	})
+}

@@ -1,0 +1,141 @@
+package tlswire
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// ProbeResult is everything the measurement tool records from a partial
+// handshake: the ServerHello parameters and the raw certificate chain, plus
+// timing. This corresponds exactly to "records the ServerHello and
+// Certificate messages received in response" (§3.1 step 2).
+type ProbeResult struct {
+	ServerHello ServerHello
+	ChainDER    [][]byte
+	// HandshakeTime is the elapsed time from ClientHello write to
+	// Certificate receipt.
+	HandshakeTime time.Duration
+}
+
+// ProbeOptions configures a partial handshake.
+type ProbeOptions struct {
+	// ServerName is sent as SNI when non-empty.
+	ServerName string
+	// Version is the offered client version (default TLS 1.2).
+	Version uint16
+	// CipherSuites overrides the offered suites (default DefaultCipherSuites).
+	CipherSuites []uint16
+	// Timeout bounds the whole exchange when > 0 and conn supports
+	// deadlines.
+	Timeout time.Duration
+	// Entropy supplies the ClientHello random (crypto/rand when nil).
+	Entropy io.Reader
+}
+
+// Probe performs the paper's partial TLS handshake on an established
+// connection: send ClientHello, read the server flight until the
+// Certificate message, then abort with a close_notify alert.
+//
+// It never completes key exchange, never validates anything, and works
+// against any RSA/ECDHE server — exactly the behavior that let the original
+// Flash 9 tool run without a TLS implementation.
+func Probe(conn net.Conn, opts ProbeOptions) (*ProbeResult, error) {
+	if opts.Version == 0 {
+		opts.Version = VersionTLS12
+	}
+	if len(opts.CipherSuites) == 0 {
+		opts.CipherSuites = DefaultCipherSuites
+	}
+	entropy := opts.Entropy
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	if opts.Timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(opts.Timeout)); err == nil {
+			defer conn.SetDeadline(time.Time{})
+		}
+	}
+
+	ch := ClientHello{
+		Version:      opts.Version,
+		CipherSuites: opts.CipherSuites,
+		ServerName:   opts.ServerName,
+	}
+	if _, err := io.ReadFull(entropy, ch.Random[:]); err != nil {
+		return nil, fmt.Errorf("tlswire: client random: %w", err)
+	}
+	body, err := ch.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	// The ClientHello record carries TLS 1.0 as its record-layer version
+	// for maximum compatibility, as real stacks do.
+	if err := WriteHandshake(conn, VersionTLS10, TypeClientHello, body); err != nil {
+		return nil, fmt.Errorf("tlswire: send ClientHello: %w", err)
+	}
+
+	hr := NewHandshakeReader(NewRecordReader(conn))
+	result := &ProbeResult{}
+	sawServerHello := false
+	sawCertificate := false
+	for {
+		msgType, msgBody, err := hr.Next()
+		if err == ErrAlertReceived {
+			return nil, fmt.Errorf("tlswire: server alert level=%d desc=%d before Certificate", hr.LastAlert.Level, hr.LastAlert.Description)
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch msgType {
+		case TypeServerHello:
+			if err := ParseServerHello(msgBody, &result.ServerHello); err != nil {
+				return nil, err
+			}
+			sawServerHello = true
+		case TypeCertificate:
+			if !sawServerHello {
+				return nil, fmt.Errorf("tlswire: Certificate before ServerHello")
+			}
+			var cm CertificateMsg
+			if err := ParseCertificateMsg(msgBody, &cm); err != nil {
+				return nil, err
+			}
+			result.ChainDER = cm.ChainDER
+			result.HandshakeTime = time.Since(start)
+			sawCertificate = true
+		case TypeServerKeyExch, TypeCertRequest:
+			// Skipped: the probe never completes key exchange.
+		case TypeServerHelloDone:
+			if !sawCertificate {
+				return nil, fmt.Errorf("tlswire: ServerHelloDone without Certificate message")
+			}
+			// The flight is fully drained; abort the handshake (§3.2:
+			// "the handshake is aborted and the connection is closed").
+			// Ignore write errors — the measurement is already complete.
+			_ = WriteAlert(conn, opts.Version, Alert{Level: AlertLevelWarning, Description: AlertCloseNotify})
+			return result, nil
+		default:
+			return nil, fmt.Errorf("tlswire: unexpected handshake message type %d", msgType)
+		}
+	}
+}
+
+// ProbeAddr dials addr (host:port over TCP) and probes it, using host as
+// SNI if opts.ServerName is empty.
+func ProbeAddr(addr string, opts ProbeOptions) (*ProbeResult, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err == nil && opts.ServerName == "" && net.ParseIP(host) == nil {
+		opts.ServerName = host
+	}
+	d := net.Dialer{Timeout: opts.Timeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tlswire: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return Probe(conn, opts)
+}

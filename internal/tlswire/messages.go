@@ -1,0 +1,361 @@
+package tlswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Handshake message types (RFC 5246 §7.4).
+const (
+	TypeClientHello     uint8 = 1
+	TypeServerHello     uint8 = 2
+	TypeCertificate     uint8 = 11
+	TypeServerKeyExch   uint8 = 12
+	TypeCertRequest     uint8 = 13
+	TypeServerHelloDone uint8 = 14
+)
+
+// Extension numbers used by the probe.
+const (
+	extServerName          uint16 = 0
+	extSupportedGroups     uint16 = 10
+	extECPointFormats      uint16 = 11
+	extSignatureAlgorithms uint16 = 13
+	extRenegotiationInfo   uint16 = 0xff01
+)
+
+// buffer is a bounds-checked cursor over a byte slice, in the style of
+// golang.org/x/crypto/cryptobyte but stdlib-only. All parse errors carry
+// the message context supplied at construction.
+type buffer struct {
+	data []byte
+	off  int
+	ctx  string
+}
+
+func newBuffer(data []byte, ctx string) *buffer {
+	return &buffer{data: data, ctx: ctx}
+}
+
+func (b *buffer) remaining() int { return len(b.data) - b.off }
+
+func (b *buffer) take(n int) ([]byte, error) {
+	if b.remaining() < n {
+		return nil, fmt.Errorf("tlswire: %s: need %d bytes at offset %d, have %d", b.ctx, n, b.off, b.remaining())
+	}
+	out := b.data[b.off : b.off+n]
+	b.off += n
+	return out, nil
+}
+
+func (b *buffer) u8() (uint8, error) {
+	v, err := b.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+func (b *buffer) u16() (uint16, error) {
+	v, err := b.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(v), nil
+}
+
+func (b *buffer) u24() (int, error) {
+	v, err := b.take(3)
+	if err != nil {
+		return 0, err
+	}
+	return int(v[0])<<16 | int(v[1])<<8 | int(v[2]), nil
+}
+
+func (b *buffer) vec8() ([]byte, error) {
+	n, err := b.u8()
+	if err != nil {
+		return nil, err
+	}
+	return b.take(int(n))
+}
+
+func (b *buffer) vec16() ([]byte, error) {
+	n, err := b.u16()
+	if err != nil {
+		return nil, err
+	}
+	return b.take(int(n))
+}
+
+// ClientHello is a decoded ClientHello message.
+type ClientHello struct {
+	Version            uint16
+	Random             [32]byte
+	SessionID          []byte
+	CipherSuites       []uint16
+	CompressionMethods []byte
+	// ServerName is the SNI host_name, "" when absent. Flash-era stacks
+	// often omitted SNI; the responder must tolerate that.
+	ServerName string
+}
+
+// Marshal encodes the ClientHello as a handshake message body (without the
+// 4-byte handshake header).
+func (ch *ClientHello) Marshal() ([]byte, error) {
+	if len(ch.SessionID) > 32 {
+		return nil, fmt.Errorf("tlswire: session id of %d bytes", len(ch.SessionID))
+	}
+	if len(ch.CipherSuites) == 0 {
+		return nil, fmt.Errorf("tlswire: ClientHello needs at least one cipher suite")
+	}
+	var ext []byte
+	if ch.ServerName != "" {
+		name := []byte(ch.ServerName)
+		// server_name extension: list(u16) of {type(1)=host_name, name(u16)}.
+		entry := make([]byte, 0, 5+len(name))
+		entry = append(entry, 0) // host_name
+		entry = appendU16(entry, uint16(len(name)))
+		entry = append(entry, name...)
+		list := appendU16(nil, uint16(len(entry)))
+		list = append(list, entry...)
+		ext = appendU16(ext, extServerName)
+		ext = appendU16(ext, uint16(len(list)))
+		ext = append(ext, list...)
+	}
+	// signature_algorithms: offer RSA with SHA-256/SHA-1 — what a 2014
+	// client stack advertised.
+	sigAlgs := []byte{0x04, 0x01, 0x02, 0x01} // sha256/rsa, sha1/rsa
+	ext = appendU16(ext, extSignatureAlgorithms)
+	ext = appendU16(ext, uint16(len(sigAlgs)+2))
+	ext = appendU16(ext, uint16(len(sigAlgs)))
+	ext = append(ext, sigAlgs...)
+	// empty renegotiation_info, as OpenSSL-era clients sent.
+	ext = appendU16(ext, extRenegotiationInfo)
+	ext = appendU16(ext, 1)
+	ext = append(ext, 0)
+
+	body := make([]byte, 0, 128)
+	body = appendU16(body, ch.Version)
+	body = append(body, ch.Random[:]...)
+	body = append(body, byte(len(ch.SessionID)))
+	body = append(body, ch.SessionID...)
+	body = appendU16(body, uint16(len(ch.CipherSuites)*2))
+	for _, cs := range ch.CipherSuites {
+		body = appendU16(body, cs)
+	}
+	comp := ch.CompressionMethods
+	if len(comp) == 0 {
+		comp = []byte{0}
+	}
+	body = append(body, byte(len(comp)))
+	body = append(body, comp...)
+	body = appendU16(body, uint16(len(ext)))
+	body = append(body, ext...)
+	return body, nil
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+// ParseClientHello decodes a ClientHello handshake body into ch,
+// overwriting all fields. Extension bytes other than server_name are
+// skipped.
+func ParseClientHello(body []byte, ch *ClientHello) error {
+	b := newBuffer(body, "ClientHello")
+	var err error
+	if ch.Version, err = b.u16(); err != nil {
+		return err
+	}
+	random, err := b.take(32)
+	if err != nil {
+		return err
+	}
+	copy(ch.Random[:], random)
+	if ch.SessionID, err = b.vec8(); err != nil {
+		return err
+	}
+	suites, err := b.vec16()
+	if err != nil {
+		return err
+	}
+	if len(suites)%2 != 0 {
+		return fmt.Errorf("tlswire: ClientHello: odd cipher suite vector length %d", len(suites))
+	}
+	ch.CipherSuites = ch.CipherSuites[:0]
+	for i := 0; i < len(suites); i += 2 {
+		ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(suites[i:]))
+	}
+	if ch.CompressionMethods, err = b.vec8(); err != nil {
+		return err
+	}
+	ch.ServerName = ""
+	if b.remaining() == 0 {
+		return nil // extensions are optional
+	}
+	exts, err := b.vec16()
+	if err != nil {
+		return err
+	}
+	eb := newBuffer(exts, "ClientHello extensions")
+	for eb.remaining() > 0 {
+		extType, err := eb.u16()
+		if err != nil {
+			return err
+		}
+		extData, err := eb.vec16()
+		if err != nil {
+			return err
+		}
+		if extType != extServerName {
+			continue
+		}
+		sb := newBuffer(extData, "server_name")
+		list, err := sb.vec16()
+		if err != nil {
+			return err
+		}
+		lb := newBuffer(list, "server_name list")
+		for lb.remaining() > 0 {
+			nameType, err := lb.u8()
+			if err != nil {
+				return err
+			}
+			name, err := lb.vec16()
+			if err != nil {
+				return err
+			}
+			if nameType == 0 {
+				ch.ServerName = string(name)
+			}
+		}
+	}
+	return nil
+}
+
+// ServerHello is a decoded ServerHello message.
+type ServerHello struct {
+	Version           uint16
+	Random            [32]byte
+	SessionID         []byte
+	CipherSuite       uint16
+	CompressionMethod uint8
+}
+
+// Marshal encodes the ServerHello as a handshake message body.
+func (sh *ServerHello) Marshal() ([]byte, error) {
+	if len(sh.SessionID) > 32 {
+		return nil, fmt.Errorf("tlswire: session id of %d bytes", len(sh.SessionID))
+	}
+	body := make([]byte, 0, 48)
+	body = appendU16(body, sh.Version)
+	body = append(body, sh.Random[:]...)
+	body = append(body, byte(len(sh.SessionID)))
+	body = append(body, sh.SessionID...)
+	body = appendU16(body, sh.CipherSuite)
+	body = append(body, sh.CompressionMethod)
+	return body, nil
+}
+
+// ParseServerHello decodes a ServerHello handshake body into sh. Trailing
+// extensions are tolerated and skipped.
+func ParseServerHello(body []byte, sh *ServerHello) error {
+	b := newBuffer(body, "ServerHello")
+	var err error
+	if sh.Version, err = b.u16(); err != nil {
+		return err
+	}
+	random, err := b.take(32)
+	if err != nil {
+		return err
+	}
+	copy(sh.Random[:], random)
+	if sh.SessionID, err = b.vec8(); err != nil {
+		return err
+	}
+	if sh.CipherSuite, err = b.u16(); err != nil {
+		return err
+	}
+	if sh.CompressionMethod, err = b.u8(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CertificateMsg is a decoded Certificate message: the DER chain exactly as
+// sent, leaf first.
+type CertificateMsg struct {
+	ChainDER [][]byte
+}
+
+// Marshal encodes the Certificate handshake body.
+func (cm *CertificateMsg) Marshal() ([]byte, error) {
+	inner := 0
+	for _, der := range cm.ChainDER {
+		if len(der) >= 1<<24 {
+			return nil, fmt.Errorf("tlswire: certificate of %d bytes", len(der))
+		}
+		inner += 3 + len(der)
+	}
+	if inner >= 1<<24 {
+		return nil, fmt.Errorf("tlswire: certificate chain of %d bytes", inner)
+	}
+	body := make([]byte, 0, 3+inner)
+	body = appendU24(body, inner)
+	for _, der := range cm.ChainDER {
+		body = appendU24(body, len(der))
+		body = append(body, der...)
+	}
+	return body, nil
+}
+
+func appendU24(b []byte, v int) []byte {
+	return append(b, byte(v>>16), byte(v>>8), byte(v))
+}
+
+// ParseCertificateMsg decodes a Certificate handshake body. The chain
+// entries are copies and remain valid indefinitely.
+func ParseCertificateMsg(body []byte, cm *CertificateMsg) error {
+	b := newBuffer(body, "Certificate")
+	total, err := b.u24()
+	if err != nil {
+		return err
+	}
+	list, err := b.take(total)
+	if err != nil {
+		return err
+	}
+	lb := newBuffer(list, "Certificate list")
+	cm.ChainDER = cm.ChainDER[:0]
+	for lb.remaining() > 0 {
+		n, err := lb.u24()
+		if err != nil {
+			return err
+		}
+		der, err := lb.take(n)
+		if err != nil {
+			return err
+		}
+		cp := make([]byte, len(der))
+		copy(cp, der)
+		cm.ChainDER = append(cm.ChainDER, cp)
+	}
+	if len(cm.ChainDER) == 0 {
+		return fmt.Errorf("tlswire: empty certificate chain")
+	}
+	return nil
+}
+
+// WriteHandshake frames body as a handshake message of the given type and
+// writes it as records.
+func WriteHandshake(w writerTo, version uint16, msgType uint8, body []byte) error {
+	msg := make([]byte, 0, 4+len(body))
+	msg = append(msg, msgType)
+	msg = appendU24(msg, len(body))
+	msg = append(msg, body...)
+	return WriteRecord(w, RecordHandshake, version, msg)
+}
+
+// writerTo is the io.Writer constraint; aliased for doc clarity.
+type writerTo = interface{ Write([]byte) (int, error) }

@@ -1,0 +1,236 @@
+// Package tlswire implements the subset of the TLS 1.0–1.2 wire protocol
+// that the paper's measurement tool exercises: the record layer, the
+// ClientHello, and the plaintext server flight (ServerHello, Certificate,
+// ServerHelloDone), plus alerts.
+//
+// The original tool was written in ActionScript against Flash 9's raw
+// Socket API precisely because no browser API exposed certificates; it
+// performed a partial handshake and aborted after the Certificate message
+// (§3.2). This package is the Go equivalent, implementing both the client
+// side (the probe) and the server side (the responder that authoritative
+// hosts and forging proxies use), so the full measurement path runs over
+// real bytes.
+//
+// Parsing follows the decode-into-preallocated-struct discipline: message
+// structs are reused across reads and slices alias the read buffer where
+// safe, so the hot probe path allocates minimally.
+package tlswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// TLS record content types (RFC 5246 §6.2.1).
+const (
+	RecordChangeCipherSpec uint8 = 20
+	RecordAlert            uint8 = 21
+	RecordHandshake        uint8 = 22
+	RecordApplicationData  uint8 = 23
+)
+
+// Protocol versions as they appear on the wire.
+const (
+	VersionSSL30 uint16 = 0x0300
+	VersionTLS10 uint16 = 0x0301
+	VersionTLS11 uint16 = 0x0302
+	VersionTLS12 uint16 = 0x0303
+)
+
+// VersionName returns the conventional name for a wire version.
+func VersionName(v uint16) string {
+	switch v {
+	case VersionSSL30:
+		return "SSLv3"
+	case VersionTLS10:
+		return "TLSv1.0"
+	case VersionTLS11:
+		return "TLSv1.1"
+	case VersionTLS12:
+		return "TLSv1.2"
+	default:
+		return fmt.Sprintf("0x%04x", v)
+	}
+}
+
+// maxRecordPayload is the record-layer plaintext limit (RFC 5246 §6.2.1).
+const maxRecordPayload = 16384
+
+// recordHeaderLen is the fixed record header size.
+const recordHeaderLen = 5
+
+// Record is one TLS record. Payload aliases the reader's internal buffer
+// and is valid only until the next ReadRecord call.
+type Record struct {
+	Type    uint8
+	Version uint16
+	Payload []byte
+}
+
+// ErrRecordTooLarge is returned for records whose declared length exceeds
+// the protocol maximum (plus slack for the explicit-IV/MAC overhead of
+// encrypted records, which we never read but must not choke on).
+var ErrRecordTooLarge = errors.New("tlswire: record length exceeds maximum")
+
+// RecordReader reads TLS records from an underlying stream, reusing one
+// internal buffer.
+type RecordReader struct {
+	r      io.Reader
+	header [recordHeaderLen]byte
+	buf    []byte
+}
+
+// NewRecordReader wraps r.
+func NewRecordReader(r io.Reader) *RecordReader {
+	return &RecordReader{r: r, buf: make([]byte, 0, 4096)}
+}
+
+// ReadRecord reads the next record into rec. The record payload aliases
+// the reader's buffer.
+func (rr *RecordReader) ReadRecord(rec *Record) error {
+	if _, err := io.ReadFull(rr.r, rr.header[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("tlswire: truncated record header: %w", err)
+		}
+		return err
+	}
+	length := int(binary.BigEndian.Uint16(rr.header[3:5]))
+	if length > maxRecordPayload+2048 {
+		return ErrRecordTooLarge
+	}
+	if cap(rr.buf) < length {
+		rr.buf = make([]byte, length)
+	}
+	rr.buf = rr.buf[:length]
+	if _, err := io.ReadFull(rr.r, rr.buf); err != nil {
+		return fmt.Errorf("tlswire: truncated record body (want %d bytes): %w", length, err)
+	}
+	rec.Type = rr.header[0]
+	rec.Version = binary.BigEndian.Uint16(rr.header[1:3])
+	rec.Payload = rr.buf
+	return nil
+}
+
+// WriteRecord writes payload as one or more records of the given type,
+// fragmenting at the record-layer maximum. Certificate chains routinely
+// exceed one record.
+func WriteRecord(w io.Writer, typ uint8, version uint16, payload []byte) error {
+	var header [recordHeaderLen]byte
+	for first := true; first || len(payload) > 0; first = false {
+		n := len(payload)
+		if n > maxRecordPayload {
+			n = maxRecordPayload
+		}
+		header[0] = typ
+		binary.BigEndian.PutUint16(header[1:3], version)
+		binary.BigEndian.PutUint16(header[3:5], uint16(n))
+		if _, err := w.Write(header[:]); err != nil {
+			return fmt.Errorf("tlswire: write record header: %w", err)
+		}
+		if n > 0 {
+			if _, err := w.Write(payload[:n]); err != nil {
+				return fmt.Errorf("tlswire: write record body: %w", err)
+			}
+		}
+		payload = payload[n:]
+	}
+	return nil
+}
+
+// Alert severities and the descriptions the probe path uses.
+const (
+	AlertLevelWarning uint8 = 1
+	AlertLevelFatal   uint8 = 2
+
+	AlertCloseNotify      uint8 = 0
+	AlertUnexpectedMsg    uint8 = 10
+	AlertHandshakeFailure uint8 = 40
+	AlertUserCanceled     uint8 = 90
+	AlertInternalError    uint8 = 80
+)
+
+// Alert is a decoded alert record.
+type Alert struct {
+	Level       uint8
+	Description uint8
+}
+
+// ParseAlert decodes an alert record payload.
+func ParseAlert(payload []byte) (Alert, error) {
+	if len(payload) < 2 {
+		return Alert{}, fmt.Errorf("tlswire: alert record of %d bytes", len(payload))
+	}
+	return Alert{Level: payload[0], Description: payload[1]}, nil
+}
+
+// WriteAlert sends one alert record.
+func WriteAlert(w io.Writer, version uint16, a Alert) error {
+	return WriteRecord(w, RecordAlert, version, []byte{a.Level, a.Description})
+}
+
+// HandshakeReader reassembles handshake messages that may span record
+// boundaries (RFC 5246 §6.2.1 permits arbitrary fragmentation).
+type HandshakeReader struct {
+	rr      *RecordReader
+	rec     Record
+	pending []byte
+	// LastAlert records the most recent alert seen instead of a handshake
+	// message; Next returns ErrAlertReceived when one arrives.
+	LastAlert Alert
+}
+
+// ErrAlertReceived is returned by Next when the peer sends an alert instead
+// of a handshake message. The alert itself is in LastAlert.
+var ErrAlertReceived = errors.New("tlswire: received alert")
+
+// NewHandshakeReader wraps a record reader.
+func NewHandshakeReader(rr *RecordReader) *HandshakeReader {
+	return &HandshakeReader{rr: rr}
+}
+
+// Next returns the next complete handshake message: its type byte and body
+// (excluding the 4-byte message header). The body is a copy and remains
+// valid across calls.
+func (hr *HandshakeReader) Next() (msgType uint8, body []byte, err error) {
+	for len(hr.pending) < 4 {
+		if err := hr.fill(); err != nil {
+			return 0, nil, err
+		}
+	}
+	msgLen := int(hr.pending[1])<<16 | int(hr.pending[2])<<8 | int(hr.pending[3])
+	if msgLen > 1<<20 {
+		return 0, nil, fmt.Errorf("tlswire: handshake message of %d bytes exceeds 1MiB cap", msgLen)
+	}
+	for len(hr.pending) < 4+msgLen {
+		if err := hr.fill(); err != nil {
+			return 0, nil, err
+		}
+	}
+	msgType = hr.pending[0]
+	body = make([]byte, msgLen)
+	copy(body, hr.pending[4:4+msgLen])
+	hr.pending = hr.pending[4+msgLen:]
+	return msgType, body, nil
+}
+
+func (hr *HandshakeReader) fill() error {
+	if err := hr.rr.ReadRecord(&hr.rec); err != nil {
+		return err
+	}
+	switch hr.rec.Type {
+	case RecordHandshake:
+		hr.pending = append(hr.pending, hr.rec.Payload...)
+		return nil
+	case RecordAlert:
+		a, err := ParseAlert(hr.rec.Payload)
+		if err != nil {
+			return err
+		}
+		hr.LastAlert = a
+		return ErrAlertReceived
+	default:
+		return fmt.Errorf("tlswire: unexpected record type %d during handshake", hr.rec.Type)
+	}
+}

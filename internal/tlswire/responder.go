@@ -1,0 +1,172 @@
+package tlswire
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// ChainSelector returns the certificate chain to present for a given SNI
+// name ("" when the client sent none). Returning an error aborts the
+// handshake with handshake_failure.
+type ChainSelector func(serverName string) (chainDER [][]byte, err error)
+
+// StaticChain returns a ChainSelector that always presents one chain,
+// regardless of SNI — how single-site servers of the study period behaved.
+func StaticChain(chainDER [][]byte) ChainSelector {
+	return func(string) ([][]byte, error) { return chainDER, nil }
+}
+
+// ResponderConfig configures Respond.
+type ResponderConfig struct {
+	// Chain selects the presented certificate chain; required.
+	Chain ChainSelector
+	// Version is the negotiated version echoed in ServerHello (default
+	// TLS 1.2, capped at the client's offer).
+	Version uint16
+	// CipherSuite is the selected suite (default: first RSA suite the
+	// client offered, falling back to TLS_RSA_WITH_AES_128_CBC_SHA).
+	CipherSuite uint16
+	// Timeout bounds the exchange when conn supports deadlines.
+	Timeout time.Duration
+	// Entropy supplies the server random (crypto/rand when nil).
+	Entropy io.Reader
+	// OnClientHello, when non-nil, observes the parsed ClientHello —
+	// interception proxies use this to learn the target host from SNI.
+	OnClientHello func(*ClientHello)
+}
+
+// Respond serves the plaintext server flight of a TLS handshake on conn:
+// read ClientHello, write ServerHello + Certificate + ServerHelloDone, then
+// read until the peer aborts or the handshake would need to continue.
+//
+// It implements exactly as much server as the measurement needs: the
+// authoritative host the probe contacts, and the client-facing half of
+// every forging proxy. It returns once the peer closes, aborts, or sends
+// its next flight (which it cannot usefully do without a key exchange).
+func Respond(conn net.Conn, cfg ResponderConfig) error {
+	if cfg.Chain == nil {
+		return errors.New("tlswire: ResponderConfig.Chain is required")
+	}
+	entropy := cfg.Entropy
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	if cfg.Timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(cfg.Timeout)); err == nil {
+			defer conn.SetDeadline(time.Time{})
+		}
+	}
+
+	hr := NewHandshakeReader(NewRecordReader(conn))
+	msgType, body, err := hr.Next()
+	if err == ErrAlertReceived {
+		return fmt.Errorf("tlswire: alert before ClientHello (desc=%d)", hr.LastAlert.Description)
+	}
+	if err != nil {
+		return err
+	}
+	if msgType != TypeClientHello {
+		_ = WriteAlert(conn, VersionTLS12, Alert{AlertLevelFatal, AlertUnexpectedMsg})
+		return fmt.Errorf("tlswire: expected ClientHello, got message type %d", msgType)
+	}
+	var ch ClientHello
+	if err := ParseClientHello(body, &ch); err != nil {
+		_ = WriteAlert(conn, VersionTLS12, Alert{AlertLevelFatal, AlertHandshakeFailure})
+		return err
+	}
+	if cfg.OnClientHello != nil {
+		cfg.OnClientHello(&ch)
+	}
+
+	version := cfg.Version
+	if version == 0 {
+		version = VersionTLS12
+	}
+	if ch.Version < version {
+		version = ch.Version
+	}
+	suite := cfg.CipherSuite
+	if suite == 0 {
+		suite = TLSRSAWithAES128CBCSHA
+		for _, offered := range ch.CipherSuites {
+			if _, known := cipherSuiteNames[offered]; known {
+				suite = offered
+				break
+			}
+		}
+	}
+
+	chain, err := cfg.Chain(ch.ServerName)
+	if err != nil || len(chain) == 0 {
+		_ = WriteAlert(conn, version, Alert{AlertLevelFatal, AlertHandshakeFailure})
+		if err == nil {
+			err = errors.New("tlswire: chain selector returned empty chain")
+		}
+		return fmt.Errorf("tlswire: no chain for %q: %w", ch.ServerName, err)
+	}
+
+	sh := ServerHello{Version: version, CipherSuite: suite}
+	if _, err := io.ReadFull(entropy, sh.Random[:]); err != nil {
+		return fmt.Errorf("tlswire: server random: %w", err)
+	}
+	shBody, err := sh.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := WriteHandshake(conn, version, TypeServerHello, shBody); err != nil {
+		return fmt.Errorf("tlswire: send ServerHello: %w", err)
+	}
+	cm := CertificateMsg{ChainDER: chain}
+	cmBody, err := cm.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := WriteHandshake(conn, version, TypeCertificate, cmBody); err != nil {
+		return fmt.Errorf("tlswire: send Certificate: %w", err)
+	}
+	if err := WriteHandshake(conn, version, TypeServerHelloDone, nil); err != nil {
+		return fmt.Errorf("tlswire: send ServerHelloDone: %w", err)
+	}
+
+	// Wait for the client's reaction. The measurement tool aborts here
+	// with close_notify; anything else (EOF, reset, a ClientKeyExchange we
+	// cannot process) also ends the exchange.
+	_, _, err = hr.Next()
+	if err == ErrAlertReceived || err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil
+	}
+	if err != nil {
+		var netErr net.Error
+		if errors.As(err, &netErr) {
+			return nil // peer went away; the flight was served
+		}
+		return err
+	}
+	// The client tried to continue the handshake; we never implement key
+	// exchange, so refuse.
+	_ = WriteAlert(conn, version, Alert{AlertLevelFatal, AlertHandshakeFailure})
+	return nil
+}
+
+// Server accepts connections from ln and serves the partial handshake on
+// each until ln is closed. Per-connection errors are delivered to onErr
+// when non-nil and otherwise dropped (a measurement host must not die
+// because one client sent garbage).
+func Server(ln net.Listener, cfg ResponderConfig, onErr func(error)) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			if err := Respond(conn, cfg); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}()
+	}
+}
