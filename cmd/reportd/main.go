@@ -7,6 +7,12 @@
 //
 //	reportd -listen=:8080 -host=tlsresearch.byu.edu -reference=ref.pem
 //	reportd -listen=:8080 -refdir=refs/   # one <host>.pem per file
+//
+// Measurements flow through the sharded ingest pipeline (internal/ingest):
+// -shards partitions the store, -batch sets the pipeline batch size, and
+// clients may stream many reports per request to /ingest/batch in the
+// compact binary wire format instead of one concatenated-PEM POST per
+// report to /report.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"tlsfof/internal/classify"
 	"tlsfof/internal/core"
 	"tlsfof/internal/geo"
+	"tlsfof/internal/ingest"
 	"tlsfof/internal/store"
 	"tlsfof/internal/x509util"
 )
@@ -31,12 +38,44 @@ func main() {
 		refPath  = flag.String("reference", "", "PEM file with the authoritative chain for -host")
 		refDir   = flag.String("refdir", "", "directory of <host>.pem authoritative chains")
 		campaign = flag.String("campaign", "manual", "campaign label stamped onto measurements")
+		shards   = flag.Int("shards", 4, "ingest pipeline shards (1 = single store)")
+		batch    = flag.Int("batch", ingest.DefaultBatchSize, "ingest pipeline batch size")
+		queue    = flag.Int("queue", 64, "per-shard queue depth in batches")
 	)
 	flag.Parse()
 
-	db := store.New(0)
-	col := core.NewCollector(classify.NewClassifier(), geo.NewDB(), db)
+	pipeline := ingest.NewPipeline(ingest.Config{
+		Shards:     *shards,
+		BatchSize:  *batch,
+		QueueDepth: *queue,
+		Block:      true, // reports are precious: backpressure, never drop
+	})
+	col := core.NewCollector(classify.NewClassifier(), geo.NewDB(), pipeline)
 	col.Campaign = *campaign
+	// snapshot folds the live shards into one queryable DB; the pipeline
+	// is drained first so every already-POSTed report is visible. It is
+	// O(retained records) — export-path only.
+	snapshot := func() *store.DB {
+		pipeline.Drain()
+		return pipeline.Merge(0)
+	}
+	// summary answers /stats from per-shard aggregates without touching
+	// retained records, so polling stays cheap at any store size.
+	summary := func() string {
+		pipeline.Drain()
+		var tot store.Agg
+		countries := make(map[string]struct{})
+		for _, db := range pipeline.Stores() {
+			t := db.Totals()
+			tot.Tested += t.Tested
+			tot.Proxied += t.Proxied
+			for _, c := range db.ProxiedCountryList() {
+				countries[c] = struct{}{}
+			}
+		}
+		return fmt.Sprintf("store: %d tested, %d proxied (%.2f%%), %d countries",
+			tot.Tested, tot.Proxied, 100*tot.Rate(), len(countries))
+	}
 
 	register := func(hostName, path string) {
 		pemBytes, err := os.ReadFile(path)
@@ -75,14 +114,17 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/report", col)
+	mux.Handle("/ingest/batch", ingest.BatchHandler(col))
+	mux.Handle("/ingest/stats", ingest.StatsHandler(pipeline))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, db.String())
+		fmt.Fprintln(w, summary())
 	})
 	mux.HandleFunc("/export.csv", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
-		db.WriteCSV(w)
+		snapshot().WriteCSV(w)
 	})
-	fmt.Printf("reportd: listening on %s (POST /report?host=..., GET /stats, GET /export.csv)\n", *listen)
+	fmt.Printf("reportd: listening on %s with %d ingest shards (POST /report?host=..., POST /ingest/batch, GET /stats, /ingest/stats, /export.csv)\n",
+		*listen, *shards)
 	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "reportd: %v\n", err)
 		os.Exit(1)

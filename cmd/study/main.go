@@ -28,13 +28,15 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "also run the Huang-style whale-only baseline and print the comparison")
 		seed      = flag.Uint64("seed", 2014, "simulation seed (same seed ⇒ same tables)")
 		scale     = flag.Float64("scale", 1.0, "workload scale (1.0 = paper-size campaigns)")
+		shards    = flag.Int("shards", 1, "ingest shards (>1 runs campaigns in parallel through the sharded pipeline; same tables either way)")
+		batchSize = flag.Int("batch", 0, "ingest pipeline batch size (0 = default; with -shards > 1)")
 		svgPath   = flag.String("svg", "", "write Figure 7 as SVG to this path")
 		csvPath   = flag.String("csv", "", "export proxied measurement records as CSV to this path")
 		jsonlPath = flag.String("jsonl", "", "export proxied measurement records as JSON Lines to this path")
 	)
 	flag.Parse()
 
-	cfg := tlsfof.StudyConfig{Seed: *seed, Scale: *scale}
+	cfg := tlsfof.StudyConfig{Seed: *seed, Scale: *scale, Shards: *shards, IngestBatch: *batchSize}
 	switch strings.ToLower(*studyName) {
 	case "first", "1":
 		cfg.Study = tlsfof.Study1

@@ -13,7 +13,9 @@
 //     classification (Tables 5/6).
 //   - RunStudy executes complete simulated reproductions of the paper's
 //     two AdWords measurement studies and returns the populated
-//     measurement store behind every table and figure.
+//     measurement store behind every table and figure. Measurements flow
+//     through the batched, sharded ingestion pipeline (internal/ingest)
+//     when StudyConfig.Shards > 1, with identical tables either way.
 //   - WriteTable renders any of the paper's evaluation tables from a study
 //     result.
 //

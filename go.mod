@@ -1,0 +1,5 @@
+module tlsfof
+
+go 1.24
+
+godebug rsa1024min=0

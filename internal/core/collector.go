@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tlsfof/internal/classify"
@@ -44,34 +45,55 @@ type Collector struct {
 	// deployment ran under).
 	Campaign string
 
-	mu            sync.RWMutex
-	authoritative map[string][][]byte
+	// authoritative is a copy-on-write map: readers load the current
+	// snapshot without locking (Ingest runs millions of times per
+	// campaign and must never contend with registration), writers copy
+	// under mu and swap the pointer.
+	mu            sync.Mutex
+	authoritative atomic.Pointer[map[string][][]byte]
 }
 
 // NewCollector constructs a collector with an empty authoritative set.
 func NewCollector(cl *classify.Classifier, g *geo.DB, sink Sink) *Collector {
-	return &Collector{
-		Classifier:    cl,
-		Geo:           g,
-		Sink:          sink,
-		authoritative: make(map[string][][]byte),
+	c := &Collector{
+		Classifier: cl,
+		Geo:        g,
+		Sink:       sink,
 	}
+	empty := make(map[string][][]byte)
+	c.authoritative.Store(&empty)
+	return c
 }
 
 // SetAuthoritative registers the true chain for host. The study operator
 // obtains these out of band (they run the servers, or probe them from a
-// trusted vantage point).
+// trusted vantage point). Registration copies the snapshot, so it is
+// O(hosts) — cheap against the per-measurement read rate it buys
+// lock-free.
 func (c *Collector) SetAuthoritative(host string, chainDER [][]byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.authoritative[host] = chainDER
+	cur := c.snapshot()
+	next := make(map[string][][]byte, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[host] = chainDER
+	c.authoritative.Store(&next)
+}
+
+// snapshot returns the current authoritative map (never nil, even on a
+// zero-value Collector).
+func (c *Collector) snapshot() map[string][][]byte {
+	if m := c.authoritative.Load(); m != nil {
+		return *m
+	}
+	return nil
 }
 
 // Authoritative returns the registered chain for host.
 func (c *Collector) Authoritative(host string) ([][]byte, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	chain, ok := c.authoritative[host]
+	chain, ok := c.snapshot()[host]
 	return chain, ok
 }
 
@@ -79,9 +101,7 @@ func (c *Collector) Authoritative(host string) ([][]byte, bool) {
 // IP, the probed host, and the captured chain. It returns the derived
 // measurement after delivering it to the sink.
 func (c *Collector) Ingest(clientIP uint32, host string, observedDER [][]byte, campaign string) (Measurement, error) {
-	c.mu.RLock()
-	auth, ok := c.authoritative[host]
-	c.mu.RUnlock()
+	auth, ok := c.snapshot()[host]
 	if !ok {
 		return Measurement{}, fmt.Errorf("core: no authoritative chain for %q", host)
 	}
@@ -137,7 +157,7 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad PEM", http.StatusBadRequest)
 		return
 	}
-	ip := clientIPFromRequest(r)
+	ip := ClientIPFromRequest(r)
 	if _, err := c.Ingest(ip, host, chainDER, c.Campaign); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -145,9 +165,10 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 }
 
-// clientIPFromRequest extracts the IPv4 peer address (0 when unavailable),
-// which the paper recorded alongside every certificate (§4).
-func clientIPFromRequest(r *http.Request) uint32 {
+// ClientIPFromRequest extracts the IPv4 peer address (0 when unavailable),
+// which the paper recorded alongside every certificate (§4). It is shared
+// with the batch intake endpoint (internal/ingest).
+func ClientIPFromRequest(r *http.Request) uint32 {
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
 		host = r.RemoteAddr

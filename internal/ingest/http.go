@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"tlsfof/internal/core"
+)
+
+// maxBatchBytes bounds one /ingest/batch request body. At ~1-4 KiB per
+// framed report this admits tens of thousands of reports per request.
+const maxBatchBytes = 32 << 20
+
+// BatchResult is the JSON body BatchHandler returns: how many reports the
+// collector accepted and how many it rejected (unknown host, unparsable
+// chain).
+type BatchResult struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Error    string `json:"error,omitempty"`
+}
+
+// BatchHandler serves the binary batch-upload endpoint: POST a wire stream
+// (see wire.go) of reports, all attributed to the connection's client IP
+// and the collector's campaign label. Individually bad reports are counted
+// and skipped; a malformed stream aborts the request after the reports
+// already decoded were ingested.
+func BatchHandler(col *core.Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		ip := core.ClientIPFromRequest(r)
+		// MaxBytesReader (not a silent LimitReader) so an oversized
+		// upload surfaces as 413 instead of masquerading as stream
+		// corruption — or worse, as a clean EOF that drops the tail.
+		body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+		dec := NewDecoder(body)
+		var res BatchResult
+		status := http.StatusOK
+		for {
+			rep, err := dec.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				// Codec-level damage: nothing after this point can be
+				// framed, so stop. Reports decoded before the damage
+				// were already ingested; say so.
+				res.Error = err.Error()
+				status = http.StatusBadRequest
+				var tooLarge *http.MaxBytesError
+				if errors.As(err, &tooLarge) {
+					res.Error = fmt.Sprintf("body exceeds %d bytes", maxBatchBytes)
+					status = http.StatusRequestEntityTooLarge
+				}
+				break
+			}
+			if _, err := col.Ingest(ip, rep.Host, rep.ChainDER, col.Campaign); err != nil {
+				res.Rejected++
+				continue
+			}
+			res.Accepted++
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(res)
+	})
+}
+
+// StatsHandler serves the pipeline's ingest accounting as JSON.
+func StatsHandler(p *Pipeline) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.Stats())
+	})
+}

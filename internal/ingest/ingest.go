@@ -1,0 +1,116 @@
+// Package ingest is the concurrent measurement-ingestion data plane
+// between the reporting server (core.Collector) and the measurement store
+// (store.DB).
+//
+// The paper's second study pushed 12.3M measurements through one reporting
+// server into "a database, where we can run queries" (§5.1). The seed
+// reproduction serialized that path behind store.DB's single mutex; at
+// production scale (the ROADMAP north star: sustained, bursty report
+// streams from millions of clients) the ingest path is the bottleneck.
+// This package industrializes it in three layers:
+//
+//   - Batching: BatchSink receives measurements in amortized batches;
+//     Batcher adapts the one-at-a-time core.Sink producer side, and
+//     SinkAdapter wraps any existing core.Sink as a BatchSink consumer.
+//   - Sharding: Pipeline hash-partitions the stream (by probed host or by
+//     client IP) onto N independent store.DB shards fed through bounded
+//     channels, with explicit backpressure or drop accounting — the 0.41%
+//     proxied tail must not vanish silently under load.
+//   - Merging: store.Merge folds the shard databases back into one DB
+//     whose every table and aggregate matches the single-threaded result.
+//
+// A compact binary wire codec (wire.go) replaces per-request concatenated
+// PEM re-parsing on the client→reportd upload path; BatchHandler (http.go)
+// serves it at /ingest/batch.
+package ingest
+
+import (
+	"sync"
+
+	"tlsfof/internal/core"
+)
+
+// BatchSink receives completed measurements in batches. Implementations
+// must be safe for concurrent use. Callers hand over ownership of the
+// batch slice; they must not reuse it after the call.
+type BatchSink interface {
+	IngestBatch([]core.Measurement)
+}
+
+// BatchSinkFunc adapts a function to the BatchSink interface.
+type BatchSinkFunc func([]core.Measurement)
+
+// IngestBatch calls f(batch).
+func (f BatchSinkFunc) IngestBatch(batch []core.Measurement) { f(batch) }
+
+// SinkAdapter presents any core.Sink as a BatchSink by replaying the batch
+// one measurement at a time. It is the compatibility shim that lets the
+// batched data plane feed legacy sinks (including store.DB itself).
+type SinkAdapter struct {
+	Sink core.Sink
+}
+
+// IngestBatch delivers each measurement in order.
+func (a SinkAdapter) IngestBatch(batch []core.Measurement) {
+	for _, m := range batch {
+		a.Sink.Ingest(m)
+	}
+}
+
+// DefaultBatchSize is the batch length Batcher and Pipeline use when the
+// caller does not choose one. Large enough to amortize per-batch costs
+// (channel handoff, lock acquisition), small enough that a batch stays
+// cache-resident.
+const DefaultBatchSize = 256
+
+// Batcher is a core.Sink that accumulates measurements and forwards
+// size-limited batches to a BatchSink. It is safe for concurrent use, but
+// peak throughput comes from one Batcher per producer goroutine (no lock
+// contention); the downstream BatchSink serializes as needed.
+//
+// Call Flush (or Close) after the final Ingest — a partial batch otherwise
+// stays buffered.
+type Batcher struct {
+	sink BatchSink
+	size int
+
+	mu  sync.Mutex
+	buf []core.Measurement
+}
+
+// NewBatcher returns a Batcher forwarding to sink in batches of size
+// (DefaultBatchSize when size <= 0).
+func NewBatcher(sink BatchSink, size int) *Batcher {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &Batcher{sink: sink, size: size, buf: make([]core.Measurement, 0, size)}
+}
+
+// Ingest buffers m, forwarding a full batch downstream when the buffer
+// reaches the configured size.
+func (b *Batcher) Ingest(m core.Measurement) {
+	b.mu.Lock()
+	b.buf = append(b.buf, m)
+	if len(b.buf) < b.size {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.buf
+	b.buf = make([]core.Measurement, 0, b.size)
+	b.mu.Unlock()
+	b.sink.IngestBatch(batch)
+}
+
+// Flush forwards any buffered partial batch downstream.
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	if len(b.buf) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.buf
+	b.buf = make([]core.Measurement, 0, b.size)
+	b.mu.Unlock()
+	b.sink.IngestBatch(batch)
+}

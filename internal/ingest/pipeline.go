@@ -1,0 +1,327 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlsfof/internal/core"
+	"tlsfof/internal/store"
+)
+
+// ShardBy selects the hash key that routes a measurement to a shard.
+type ShardBy int
+
+const (
+	// ByHost partitions on the probed host name (the default). The host
+	// set is small and hot (1 or 18 hosts in the studies), so this keeps
+	// each host's aggregates on one shard and needs no cross-shard
+	// coordination for per-host tables.
+	ByHost ShardBy = iota
+	// ByClientIP partitions on the reporting client's address, spreading
+	// load evenly even when one host dominates the stream.
+	ByClientIP
+)
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Shards is the number of independent ingest partitions (1 when <= 0).
+	Shards int
+	// BatchSize bounds batches built by the pipeline's own Sink face
+	// (DefaultBatchSize when <= 0).
+	BatchSize int
+	// QueueDepth is the per-shard bounded-channel capacity in batches
+	// (default 64).
+	QueueDepth int
+	// Retain is the per-shard retained-proxied-record cap passed to each
+	// shard store (<= 0 unlimited). A per-shard cap bounds memory but
+	// makes the surviving record set depend on arrival timing; callers
+	// needing deterministic retention (the study runner) leave this 0 and
+	// cap in Merge instead.
+	Retain int
+	// Block selects backpressure semantics when a shard queue is full:
+	// true blocks the producer (lossless), false drops the batch and
+	// counts every dropped measurement (lossy but non-blocking).
+	Block bool
+	// ShardBy selects the partition key.
+	ShardBy ShardBy
+	// Sinks, when non-nil, overrides the per-shard consumer (testing and
+	// alternate backends). The default builds one store.DB per shard;
+	// with an override Stores and Merge see no databases.
+	Sinks func(shard int) BatchSink
+}
+
+// ShardStats is one shard's ingest accounting.
+type ShardStats struct {
+	// Enqueued counts measurements accepted onto the shard queue.
+	Enqueued uint64
+	// Ingested counts measurements the shard worker has delivered.
+	Ingested uint64
+	// Dropped counts measurements discarded because the queue was full
+	// (always 0 under Block backpressure).
+	Dropped uint64
+	// Batches counts delivered batches.
+	Batches uint64
+	// Queue is the instantaneous queue length in batches.
+	Queue int
+}
+
+// Stats is a point-in-time snapshot of pipeline accounting.
+type Stats struct {
+	Shards []ShardStats
+	// Enqueued, Ingested, Dropped are sums over shards.
+	Enqueued uint64
+	Ingested uint64
+	Dropped  uint64
+}
+
+type shard struct {
+	sink BatchSink
+	db   *store.DB // nil when Config.Sinks overrides
+	ch   chan []core.Measurement
+
+	mu      sync.Mutex
+	pending []core.Measurement
+
+	enqueued atomic.Uint64
+	ingested atomic.Uint64
+	dropped  atomic.Uint64
+	batches  atomic.Uint64
+}
+
+// Pipeline is the sharded ingest data plane. It is both a core.Sink (one
+// measurement at a time, internally batched per shard) and a BatchSink
+// (pre-batched input, split by shard). Producers may call Ingest and
+// IngestBatch concurrently; call Flush to push partial per-shard batches,
+// and Close exactly once after all producers have stopped.
+type Pipeline struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewPipeline builds the shard stores (or custom sinks), starts one worker
+// goroutine per shard, and returns the running pipeline.
+func NewPipeline(cfg Config) *Pipeline {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > 1024 {
+		// Far beyond any useful core count, and keeps the batch-split
+		// index comfortably inside uint16.
+		cfg.Shards = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	p := &Pipeline{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range p.shards {
+		sh := &shard{ch: make(chan []core.Measurement, cfg.QueueDepth)}
+		if cfg.Sinks != nil {
+			sh.sink = cfg.Sinks(i)
+		} else {
+			sh.db = store.New(cfg.Retain)
+			sh.sink = sh.db // store.DB batch-ingests natively
+		}
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go p.work(sh)
+	}
+	return p
+}
+
+func (p *Pipeline) work(sh *shard) {
+	defer p.wg.Done()
+	for batch := range sh.ch {
+		sh.sink.IngestBatch(batch)
+		sh.ingested.Add(uint64(len(batch)))
+		sh.batches.Add(1)
+	}
+}
+
+// shardIndex routes one measurement.
+func (p *Pipeline) shardIndex(m core.Measurement) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	var h uint32
+	if p.cfg.ShardBy == ByClientIP {
+		h = fnv1a32(nil, m.ClientIP)
+	} else {
+		h = fnv1a32([]byte(m.Host), 0)
+	}
+	return int(h % uint32(len(p.shards)))
+}
+
+// fnv1a32 hashes s then the big-endian bytes of v when s is nil.
+func fnv1a32(s []byte, v uint32) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	if s == nil {
+		s = []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	}
+	for _, b := range s {
+		h ^= uint32(b)
+		h *= prime
+	}
+	return h
+}
+
+// Ingest implements core.Sink: it appends m to the target shard's pending
+// batch and enqueues the batch once full.
+func (p *Pipeline) Ingest(m core.Measurement) {
+	sh := p.shards[p.shardIndex(m)]
+	sh.mu.Lock()
+	sh.pending = append(sh.pending, m)
+	if len(sh.pending) < p.cfg.BatchSize {
+		sh.mu.Unlock()
+		return
+	}
+	batch := sh.pending
+	sh.pending = make([]core.Measurement, 0, p.cfg.BatchSize)
+	sh.mu.Unlock()
+	p.enqueue(sh, batch)
+}
+
+// IngestBatch implements BatchSink: the batch is split by shard and each
+// sub-batch enqueued directly, bypassing the pending buffers. The split is
+// two-pass (count, then fill exact-capacity sub-batches) so the hot path
+// never grows a slice.
+func (p *Pipeline) IngestBatch(batch []core.Measurement) {
+	ns := len(p.shards)
+	if ns == 1 {
+		p.enqueue(p.shards[0], batch)
+		return
+	}
+	idx := make([]uint16, len(batch))
+	counts := make([]int, ns)
+	for i, m := range batch {
+		s := p.shardIndex(m)
+		idx[i] = uint16(s)
+		counts[s]++
+	}
+	subs := make([][]core.Measurement, ns)
+	for s, c := range counts {
+		if c > 0 {
+			subs[s] = make([]core.Measurement, 0, c)
+		}
+	}
+	for i, m := range batch {
+		s := idx[i]
+		subs[s] = append(subs[s], m)
+	}
+	for s, sub := range subs {
+		if sub != nil {
+			p.enqueue(p.shards[s], sub)
+		}
+	}
+}
+
+func (p *Pipeline) enqueue(sh *shard, batch []core.Measurement) {
+	if len(batch) == 0 {
+		return
+	}
+	if p.cfg.Block {
+		sh.ch <- batch
+		sh.enqueued.Add(uint64(len(batch)))
+		return
+	}
+	select {
+	case sh.ch <- batch:
+		sh.enqueued.Add(uint64(len(batch)))
+	default:
+		sh.dropped.Add(uint64(len(batch)))
+	}
+}
+
+// Flush enqueues every shard's pending partial batch.
+func (p *Pipeline) Flush() {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		batch := sh.pending
+		sh.pending = nil
+		sh.mu.Unlock()
+		p.enqueue(sh, batch)
+	}
+}
+
+// Drain flushes pending batches and blocks until every measurement
+// enqueued before the call has been delivered to its shard sink, so a
+// subsequent Merge sees them. Producers may keep ingesting concurrently;
+// their later measurements are not waited for.
+func (p *Pipeline) Drain() {
+	p.Flush()
+	targets := make([]uint64, len(p.shards))
+	for i, sh := range p.shards {
+		targets[i] = sh.enqueued.Load()
+	}
+	for i, sh := range p.shards {
+		for sh.ingested.Load() < targets[i] {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// Close flushes pending batches, stops the shard workers, and waits for
+// the queues to drain. It must be called exactly once, after every
+// producer has stopped; Ingest after Close panics.
+func (p *Pipeline) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p.Flush()
+	for _, sh := range p.shards {
+		close(sh.ch)
+	}
+	p.wg.Wait()
+}
+
+// Stores returns the per-shard databases (nil entries under a Sinks
+// override).
+func (p *Pipeline) Stores() []*store.DB {
+	dbs := make([]*store.DB, len(p.shards))
+	for i, sh := range p.shards {
+		dbs[i] = sh.db
+	}
+	return dbs
+}
+
+// Merge folds the shard databases into one deterministic store.DB (see
+// store.Merge). After Close the result is exact; on a live pipeline it is
+// a point-in-time snapshot that misses queued-but-undelivered batches.
+func (p *Pipeline) Merge(retainLimit int) *store.DB {
+	return store.Merge(retainLimit, p.Stores()...)
+}
+
+// Stats snapshots the ingest accounting.
+func (p *Pipeline) Stats() Stats {
+	s := Stats{Shards: make([]ShardStats, len(p.shards))}
+	for i, sh := range p.shards {
+		ss := ShardStats{
+			Enqueued: sh.enqueued.Load(),
+			Ingested: sh.ingested.Load(),
+			Dropped:  sh.dropped.Load(),
+			Batches:  sh.batches.Load(),
+			Queue:    len(sh.ch),
+		}
+		s.Shards[i] = ss
+		s.Enqueued += ss.Enqueued
+		s.Ingested += ss.Ingested
+		s.Dropped += ss.Dropped
+	}
+	return s
+}
+
+// String renders a one-line accounting summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("ingest: %d shards, %d enqueued, %d ingested, %d dropped",
+		len(s.Shards), s.Enqueued, s.Ingested, s.Dropped)
+}

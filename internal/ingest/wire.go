@@ -1,0 +1,203 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The upload wire format. The seed's /report endpoint made every client
+// re-encode its captured DER chain as concatenated PEM (+33% size) and
+// made reportd undo that per request; at fleet scale the base64 round
+// trip is pure waste. The /ingest/batch endpoint instead streams this
+// compact binary framing, many reports per connection:
+//
+//	stream = magic("TFW1") frame*
+//	frame  = hostLen:uvarint host:bytes certCount:uvarint
+//	         (certLen:uvarint der:bytes)*
+//
+// DER bytes travel untouched, so the decoder hands chains straight to
+// core.Observe. The Decoder is streaming: it never buffers more than one
+// frame, so a single connection can carry an unbounded report stream.
+
+// wireMagic begins every stream: "TFW" + format version '1'.
+var wireMagic = [4]byte{'T', 'F', 'W', '1'}
+
+// Wire-format limits; hostile clients exist (the /report endpoint bounds
+// its uploads the same way).
+const (
+	// MaxWireHostLen bounds the probed host name (DNS's own limit).
+	MaxWireHostLen = 255
+	// MaxWireChainCerts bounds certificates per chain; real chains run
+	// 1-4, the paper's longest observed substitute chains far fewer
+	// than 16.
+	MaxWireChainCerts = 16
+	// MaxWireCertLen bounds one DER certificate.
+	MaxWireCertLen = 256 << 10
+)
+
+// Report is one client upload: the probed host and the certificate chain
+// the client actually received, leaf first.
+type Report struct {
+	Host     string
+	ChainDER [][]byte
+}
+
+// Encoder writes reports in the binary wire format. Not safe for
+// concurrent use.
+type Encoder struct {
+	w           *bufio.Writer
+	wroteHeader bool
+	scratch     []byte
+}
+
+// NewEncoder returns an encoder writing the wire stream to w. Call Flush
+// when done.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+// Encode appends one report frame (writing the stream header first if
+// this is the first frame).
+func (e *Encoder) Encode(r Report) error {
+	if len(r.Host) == 0 || len(r.Host) > MaxWireHostLen {
+		return fmt.Errorf("ingest: host length %d outside [1,%d]", len(r.Host), MaxWireHostLen)
+	}
+	if len(r.ChainDER) == 0 || len(r.ChainDER) > MaxWireChainCerts {
+		return fmt.Errorf("ingest: chain of %d certs outside [1,%d]", len(r.ChainDER), MaxWireChainCerts)
+	}
+	for _, der := range r.ChainDER {
+		if len(der) == 0 || len(der) > MaxWireCertLen {
+			return fmt.Errorf("ingest: certificate of %d bytes outside [1,%d]", len(der), MaxWireCertLen)
+		}
+	}
+	if !e.wroteHeader {
+		if _, err := e.w.Write(wireMagic[:]); err != nil {
+			return err
+		}
+		e.wroteHeader = true
+	}
+	e.scratch = binary.AppendUvarint(e.scratch[:0], uint64(len(r.Host)))
+	e.scratch = append(e.scratch, r.Host...)
+	e.scratch = binary.AppendUvarint(e.scratch, uint64(len(r.ChainDER)))
+	if _, err := e.w.Write(e.scratch); err != nil {
+		return err
+	}
+	for _, der := range r.ChainDER {
+		e.scratch = binary.AppendUvarint(e.scratch[:0], uint64(len(der)))
+		if _, err := e.w.Write(e.scratch); err != nil {
+			return err
+		}
+		if _, err := e.w.Write(der); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes any buffered frames to the underlying writer.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+// EncodeReports is a convenience one-shot encoding of reports into a
+// complete wire stream.
+func EncodeReports(reports []Report) ([]byte, error) {
+	var buf writerBuf
+	enc := NewEncoder(&buf)
+	for _, r := range reports {
+		if err := enc.Encode(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// Decoder reads a wire stream one report at a time. Not safe for
+// concurrent use.
+type Decoder struct {
+	r          *bufio.Reader
+	readHeader bool
+}
+
+// NewDecoder returns a streaming decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Next returns the next report. It returns io.EOF exactly at a clean
+// stream end (after the header, on a frame boundary); a stream truncated
+// mid-frame yields io.ErrUnexpectedEOF.
+func (d *Decoder) Next() (Report, error) {
+	if !d.readHeader {
+		var got [4]byte
+		if _, err := io.ReadFull(d.r, got[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Report{}, io.EOF
+			}
+			return Report{}, fmt.Errorf("ingest: reading wire header: %w", err)
+		}
+		if got != wireMagic {
+			return Report{}, fmt.Errorf("ingest: bad wire magic %q (want %q)", got[:], wireMagic[:])
+		}
+		d.readHeader = true
+	}
+
+	hostLen, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Report{}, io.EOF // clean end on frame boundary
+		}
+		return Report{}, fmt.Errorf("ingest: reading host length: %w", err)
+	}
+	if hostLen == 0 || hostLen > MaxWireHostLen {
+		return Report{}, fmt.Errorf("ingest: host length %d outside [1,%d]", hostLen, MaxWireHostLen)
+	}
+	host := make([]byte, hostLen)
+	if _, err := io.ReadFull(d.r, host); err != nil {
+		return Report{}, fmt.Errorf("ingest: reading host: %w", noEOF(err))
+	}
+
+	certCount, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return Report{}, fmt.Errorf("ingest: reading cert count: %w", noEOF(err))
+	}
+	if certCount == 0 || certCount > MaxWireChainCerts {
+		return Report{}, fmt.Errorf("ingest: chain of %d certs outside [1,%d]", certCount, MaxWireChainCerts)
+	}
+	chain := make([][]byte, certCount)
+	for i := range chain {
+		certLen, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Report{}, fmt.Errorf("ingest: reading cert length: %w", noEOF(err))
+		}
+		if certLen == 0 || certLen > MaxWireCertLen {
+			return Report{}, fmt.Errorf("ingest: certificate of %d bytes outside [1,%d]", certLen, MaxWireCertLen)
+		}
+		der := make([]byte, certLen)
+		if _, err := io.ReadFull(d.r, der); err != nil {
+			return Report{}, fmt.Errorf("ingest: reading certificate: %w", noEOF(err))
+		}
+		chain[i] = der
+	}
+	return Report{Host: string(host), ChainDER: chain}, nil
+}
+
+// noEOF maps io.EOF to io.ErrUnexpectedEOF: inside a frame, running out
+// of bytes is truncation, never a clean end.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

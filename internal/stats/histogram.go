@@ -31,6 +31,14 @@ func (c *Counter) AddN(key string, n int) {
 // Count returns the tally for key.
 func (c *Counter) Count(key string) int { return c.counts[key] }
 
+// Merge adds every tally from o into c. It backs the shard-merge path in
+// the ingest pipeline.
+func (c *Counter) Merge(o *Counter) {
+	for k, v := range o.counts {
+		c.AddN(k, v)
+	}
+}
+
 // Total returns the sum of all tallies.
 func (c *Counter) Total() int { return c.total }
 

@@ -121,7 +121,21 @@ func New(retainLimit int) *DB {
 func (db *DB) Ingest(m core.Measurement) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.ingestLocked(m)
+}
 
+// IngestBatch records a batch under one lock acquisition; it implements
+// ingest.BatchSink, making the store a native endpoint for the batched
+// data plane.
+func (db *DB) IngestBatch(ms []core.Measurement) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, m := range ms {
+		db.ingestLocked(m)
+	}
+}
+
+func (db *DB) ingestLocked(m core.Measurement) {
 	db.totals.Tested++
 	country := m.Country
 	if country == "" {
@@ -362,6 +376,19 @@ func (db *DB) ProxiedCountryCount() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return len(db.proxiedCountries)
+}
+
+// ProxiedCountryList returns the countries with at least one proxied
+// connection (unordered copy). Shard consumers union these for a cheap
+// cross-shard summary without merging retained records.
+func (db *DB) ProxiedCountryList() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.proxiedCountries))
+	for c := range db.proxiedCountries {
+		out = append(out, c)
+	}
+	return out
 }
 
 // ProxiedRecords returns the retained proxied measurements.

@@ -2,6 +2,7 @@ package study
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tlsfof/internal/adsim"
@@ -11,6 +12,7 @@ import (
 	"tlsfof/internal/core"
 	"tlsfof/internal/geo"
 	"tlsfof/internal/hostdb"
+	"tlsfof/internal/ingest"
 	"tlsfof/internal/stats"
 	"tlsfof/internal/store"
 )
@@ -30,6 +32,14 @@ type Config struct {
 	RetainProxied int
 	// Pool supplies key material (a fresh pool when nil).
 	Pool *certgen.KeyPool
+	// Shards > 1 routes measurements through the sharded ingest pipeline
+	// (internal/ingest) with campaigns generating in parallel, then merges
+	// the shard stores; <= 1 keeps the single-threaded store path. Both
+	// paths render identical tables for equal seeds.
+	Shards int
+	// IngestBatch sets the pipeline batch size (ingest.DefaultBatchSize
+	// when <= 0); only meaningful with Shards > 1.
+	IngestBatch int
 }
 
 // Result is a completed study run.
@@ -44,6 +54,9 @@ type Result struct {
 	Geo       *geo.DB
 	Duration  time.Duration
 	StartedAt time.Time
+	// IngestStats holds the pipeline accounting when the run used the
+	// sharded path (nil on the single-threaded path).
+	IngestStats *ingest.Stats
 }
 
 // studyEpoch anchors synthetic measurement timestamps: the first study
@@ -97,72 +110,148 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	db := store.New(cfg.RetainProxied)
 	epoch := studyEpoch(cfg.Study)
 	deps := pop.Deployments()
 
-	for ci, campaign := range campaigns {
-		outcome := outcomes[ci]
-		n := int(float64(outcome.Impressions) * cfg.Scale)
-		cr := r.Split()
-		window := time.Duration(campaign.Days) * 24 * time.Hour
-		for i := 0; i < n; i++ {
-			country := campaign.TargetCountry
-			if country == "" {
-				country = pop.SampleGlobalCountry(cr)
-			}
-			proxied := cr.Bool(pop.ProxyRate(country))
-			depIdx := -1
-			if proxied {
-				depIdx, _ = pop.SampleDeployment(cr)
-			}
-			var ip uint32
-			ipSet := false
-			var when time.Time
-			for hi := range hosts {
-				if !cr.Bool(pop.CompletionProb(hosts[hi].Name)) {
-					continue
-				}
-				if !ipSet {
-					ip = pop.ClientIP(cr, country)
-					ipSet = true
-					when = epoch.Add(time.Duration(float64(window) * float64(i) / float64(n+1)))
-				}
-				var obs core.Observation
-				var err error
-				if proxied {
-					obs, err = factory.observation(deps, depIdx, hi)
-				} else {
-					obs, err = factory.cleanObservation(hosts[hi].Name)
-				}
+	// Pre-split one RNG per campaign in campaign order, so the sequential
+	// and parallel paths consume identical random streams.
+	crs := make([]*stats.RNG, len(campaigns))
+	for i := range campaigns {
+		crs[i] = r.Split()
+	}
+
+	gen := &campaignGen{
+		cfg: cfg, pop: pop, hosts: hosts, factory: factory,
+		deps: deps, epoch: epoch,
+	}
+
+	var db *store.DB
+	var ingestStats *ingest.Stats
+	if cfg.Shards > 1 {
+		// Parallel path: campaigns generate concurrently, each feeding a
+		// private batcher into the shared sharded pipeline; the shard
+		// stores are merged deterministically at the end.
+		// Shards retain every proxied record (Retain 0): capping per shard
+		// would make the surviving set depend on goroutine scheduling.
+		// Merge applies cfg.RetainProxied deterministically after the
+		// canonical sort over the full pool.
+		pl := ingest.NewPipeline(ingest.Config{
+			Shards:    cfg.Shards,
+			BatchSize: cfg.IngestBatch,
+			Block:     true, // a study is lossless: backpressure, never drop
+		})
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for ci := range campaigns {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				b := ingest.NewBatcher(pl, cfg.IngestBatch)
+				err := gen.run(campaigns[ci], outcomes[ci], crs[ci], b)
+				b.Flush()
 				if err != nil {
-					return nil, fmt.Errorf("study: campaign %s: %w", campaign.Name, err)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
 				}
-				db.Ingest(core.Measurement{
-					Time:         when,
-					ClientIP:     ip,
-					Country:      country,
-					Host:         hosts[hi].Name,
-					HostCategory: hosts[hi].Category,
-					Campaign:     campaign.Name,
-					Obs:          obs,
-				})
+			}(ci)
+		}
+		wg.Wait()
+		pl.Close()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		db = pl.Merge(cfg.RetainProxied)
+		st := pl.Stats()
+		ingestStats = &st
+	} else {
+		db = store.New(cfg.RetainProxied)
+		for ci := range campaigns {
+			if err := gen.run(campaigns[ci], outcomes[ci], crs[ci], db); err != nil {
+				return nil, err
 			}
 		}
 	}
 
 	return &Result{
-		Config:    cfg,
-		Store:     db,
-		Outcomes:  outcomes,
-		Total:     total,
-		Pop:       pop,
-		Hosts:     hosts,
-		Auth:      auth,
-		Geo:       gdb,
-		Duration:  time.Since(wall),
-		StartedAt: wall,
+		Config:      cfg,
+		Store:       db,
+		Outcomes:    outcomes,
+		Total:       total,
+		Pop:         pop,
+		Hosts:       hosts,
+		Auth:        auth,
+		Geo:         gdb,
+		Duration:    time.Since(wall),
+		StartedAt:   wall,
+		IngestStats: ingestStats,
 	}, nil
+}
+
+// campaignGen generates the measurement stream for campaigns; the sink
+// decides whether that stream lands in a mutex store (sequential path) or
+// the sharded pipeline (parallel path).
+type campaignGen struct {
+	cfg     Config
+	pop     *clientpop.Population
+	hosts   []hostdb.Host
+	factory *obsFactory
+	deps    []clientpop.Deployment
+	epoch   time.Time
+}
+
+// run synthesizes one campaign's measurements from its private RNG stream
+// and delivers them to sink in impression order.
+func (g *campaignGen) run(campaign adsim.Campaign, outcome adsim.Outcome, cr *stats.RNG, sink core.Sink) error {
+	n := int(float64(outcome.Impressions) * g.cfg.Scale)
+	window := time.Duration(campaign.Days) * 24 * time.Hour
+	for i := 0; i < n; i++ {
+		country := campaign.TargetCountry
+		if country == "" {
+			country = g.pop.SampleGlobalCountry(cr)
+		}
+		proxied := cr.Bool(g.pop.ProxyRate(country))
+		depIdx := -1
+		if proxied {
+			depIdx, _ = g.pop.SampleDeployment(cr)
+		}
+		var ip uint32
+		ipSet := false
+		var when time.Time
+		for hi := range g.hosts {
+			if !cr.Bool(g.pop.CompletionProb(g.hosts[hi].Name)) {
+				continue
+			}
+			if !ipSet {
+				ip = g.pop.ClientIP(cr, country)
+				ipSet = true
+				when = g.epoch.Add(time.Duration(float64(window) * float64(i) / float64(n+1)))
+			}
+			var obs core.Observation
+			var err error
+			if proxied {
+				obs, err = g.factory.observation(g.deps, depIdx, hi)
+			} else {
+				obs, err = g.factory.cleanObservation(g.hosts[hi].Name)
+			}
+			if err != nil {
+				return fmt.Errorf("study: campaign %s: %w", campaign.Name, err)
+			}
+			sink.Ingest(core.Measurement{
+				Time:         when,
+				ClientIP:     ip,
+				Country:      country,
+				Host:         g.hosts[hi].Name,
+				HostCategory: g.hosts[hi].Category,
+				Campaign:     campaign.Name,
+				Obs:          obs,
+			})
+		}
+	}
+	return nil
 }
 
 // BaselineResult summarizes a Huang-style single-site measurement.
