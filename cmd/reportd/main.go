@@ -18,11 +18,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"tlsfof/internal/analysis"
 	"tlsfof/internal/classify"
 	"tlsfof/internal/core"
 	"tlsfof/internal/geo"
@@ -123,7 +125,25 @@ func main() {
 		w.Header().Set("Content-Type", "text/csv")
 		snapshot().WriteCSV(w)
 	})
-	fmt.Printf("reportd: listening on %s with %d ingest shards (POST /report?host=..., POST /ingest/batch, GET /stats, /ingest/stats, /export.csv)\n",
+	// Live table renders over the captured data: the examples/live-wire
+	// runbook curls these after driving a probe fleet through mitmd.
+	tables := map[string]func(io.Writer, *store.DB) error{
+		"/table/4":          func(w io.Writer, db *store.DB) error { return analysis.Table4(w, db, 25) },
+		"/table/5":          analysis.Table5,
+		"/table/6":          analysis.Table6,
+		"/table/negligence": analysis.Negligence,
+		"/table/products":   func(w io.Writer, db *store.DB) error { return analysis.Products(w, db, 25) },
+	}
+	for path, render := range tables {
+		render := render
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := render(w, snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	fmt.Printf("reportd: listening on %s with %d ingest shards (POST /report?host=..., POST /ingest/batch, GET /stats, /ingest/stats, /export.csv, /table/{4,5,6,negligence,products})\n",
 		*listen, *shards)
 	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "reportd: %v\n", err)

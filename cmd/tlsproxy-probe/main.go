@@ -4,20 +4,35 @@
 // it runs the full detection: mismatch anatomy and claimed-issuer
 // classification. Exit status 2 signals a detected TLS proxy.
 //
+// With -fleet N it becomes the measurement side of the live-wire loop: N
+// concurrent workers probe -addr over real sockets (rotating over -hosts
+// for SNI), and stream every captured chain to a reportd /ingest/batch
+// endpoint in the binary wire format. The server does the comparing; the
+// fleet just probes and uploads, exactly like the paper's deployed tool.
+//
 // Usage:
 //
 //	tlsproxy-probe -addr=example.com:443
 //	tlsproxy-probe -addr=10.0.0.1:443 -sni=example.com -reference=ref.pem
+//	tlsproxy-probe -addr=127.0.0.1:8443 -fleet=8 -count=200 \
+//	    -hosts=a.example,b.example -report=http://127.0.0.1:8080
+//	tlsproxy-probe -addr=127.0.0.1:8443 -fleet=32 -duration=30s -report=...
 package main
 
 import (
 	"crypto/x509"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tlsfof"
+	"tlsfof/internal/ingest"
+	"tlsfof/internal/tlswire"
 )
 
 func main() {
@@ -27,6 +42,13 @@ func main() {
 		refPath = flag.String("reference", "", "PEM file with the authoritative chain; enables detection")
 		timeout = flag.Duration("timeout", 10*time.Second, "probe timeout")
 		pemOut  = flag.Bool("pem", false, "print the captured chain as PEM")
+
+		fleet    = flag.Int("fleet", 0, "run N concurrent probe workers (enables fleet mode)")
+		count    = flag.Int("count", 0, "fleet: probes per worker (0 = run until -duration)")
+		duration = flag.Duration("duration", 10*time.Second, "fleet: wall-clock budget when -count is 0")
+		hosts    = flag.String("hosts", "", "fleet: comma-separated SNI names to rotate over (default -sni)")
+		report   = flag.String("report", "", "fleet: reportd base URL or /ingest/batch endpoint")
+		batch    = flag.Int("batch", ingest.DefaultClientBatch, "fleet: reports per upload batch")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -34,7 +56,100 @@ func main() {
 		os.Exit(1)
 	}
 
-	report, err := tlsfof.Probe(*addr, *sni, *timeout)
+	if *fleet > 0 {
+		os.Exit(runFleet(*addr, *sni, *hosts, *report, *fleet, *count, *duration, *timeout, *batch))
+	}
+	runSingle(*addr, *sni, *refPath, *timeout, *pemOut)
+}
+
+// runFleet drives n workers of repeated probes through the proxy path and
+// streams captures to reportd. Returns the process exit code.
+func runFleet(addr, sni, hostList, reportURL string, n, count int, duration, timeout time.Duration, batchSize int) int {
+	var sniNames []string
+	for _, h := range strings.Split(hostList, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			sniNames = append(sniNames, h)
+		}
+	}
+	if len(sniNames) == 0 {
+		name := sni
+		if name == "" {
+			if h, _, err := net.SplitHostPort(addr); err == nil && net.ParseIP(h) == nil {
+				name = h
+			}
+		}
+		if name == "" {
+			fmt.Fprintln(os.Stderr, "tlsproxy-probe: fleet mode needs -hosts or -sni (no SNI derivable from -addr)")
+			return 1
+		}
+		sniNames = []string{name}
+	}
+
+	var client *ingest.Client
+	if reportURL != "" {
+		url := strings.TrimSuffix(reportURL, "/")
+		if !strings.HasSuffix(url, "/ingest/batch") {
+			url += "/ingest/batch"
+		}
+		client = ingest.NewClient(url)
+		client.BatchSize = batchSize
+	}
+
+	var (
+		probes   atomic.Uint64
+		failures atomic.Uint64
+		deadline = time.Now().Add(duration)
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; count > 0 && i < count || count == 0 && time.Now().Before(deadline); i++ {
+				host := sniNames[(w+i)%len(sniNames)]
+				res, err := tlswire.ProbeAddr(addr, tlswire.ProbeOptions{ServerName: host, Timeout: timeout})
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				probes.Add(1)
+				if client != nil {
+					if err := client.Report(ingest.Report{Host: host, ChainDER: res.ChainDER}); err != nil {
+						fmt.Fprintf(os.Stderr, "tlsproxy-probe: upload: %v\n", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if client != nil {
+		if err := client.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsproxy-probe: final flush: %v\n", err)
+		}
+	}
+	ok, fail := probes.Load(), failures.Load()
+	fmt.Printf("fleet: %d workers, %d probes ok, %d failed in %v (%.0f probes/sec)\n",
+		n, ok, fail, elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds())
+	if client != nil {
+		st := client.Stats()
+		fmt.Printf("fleet: uploaded %d reports in %d posts (%d accepted, %d rejected, %d post errors)\n",
+			st.Reported, st.Posts, st.Accepted, st.Rejected, st.PostErrors)
+		if st.PostErrors > 0 || st.Rejected > 0 {
+			return 1
+		}
+	}
+	if ok == 0 && fail > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runSingle is the original one-shot probe + optional detection.
+func runSingle(addr, sni, refPath string, timeout time.Duration, pemOut bool) {
+	report, err := tlsfof.Probe(addr, sni, timeout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlsproxy-probe: %v\n", err)
 		os.Exit(1)
@@ -49,21 +164,21 @@ func main() {
 		fmt.Printf("  [%d] subject=%q issuer=%q alg=%s\n",
 			i, cert.Subject.String(), cert.Issuer.String(), cert.SignatureAlgorithm)
 	}
-	if *pemOut {
+	if pemOut {
 		os.Stdout.Write(report.ChainPEM)
 	}
 
-	if *refPath == "" {
+	if refPath == "" {
 		return
 	}
-	refPEM, err := os.ReadFile(*refPath)
+	refPEM, err := os.ReadFile(refPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlsproxy-probe: read reference: %v\n", err)
 		os.Exit(1)
 	}
-	host := *sni
+	host := sni
 	if host == "" {
-		host = *addr
+		host = addr
 	}
 	obs, err := tlsfof.DetectPEM(host, refPEM, report.ChainPEM)
 	if err != nil {

@@ -1,0 +1,90 @@
+// Command origin is the authoritative side of the live-wire runbook: a
+// partial-handshake TLS origin serving one CA-signed chain per host
+// (selected by SNI), with the matching authoritative PEMs written to a
+// reference directory that reportd loads via -refdir.
+//
+// Usage:
+//
+//	origin -listen=127.0.0.1:9443 -hosts=a.example,b.example -refdir=refs/
+//
+// See examples/live-wire/README.md for the full topology.
+package main
+
+import (
+	"crypto/x509/pkix"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tlsfof/internal/certgen"
+	"tlsfof/internal/tlswire"
+	"tlsfof/internal/x509util"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "origin: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9443", "authoritative TLS listen address")
+		hosts  = flag.String("hosts", "tlsresearch.byu.edu,promodj.com,www.facebook.com", "comma-separated hosts to serve")
+		refDir = flag.String("refdir", "", "write <host>.pem authoritative chains here (required)")
+	)
+	flag.Parse()
+	if *refDir == "" {
+		fatalf("-refdir is required (reportd loads it)")
+	}
+	if err := os.MkdirAll(*refDir, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+
+	pool := certgen.NewKeyPool(2, nil)
+	ca, err := certgen.NewRootCA(certgen.CAConfig{
+		Subject: pkix.Name{CommonName: "LiveWire Root CA", Organization: []string{"LiveWire Authority"}},
+		Pool:    pool,
+	})
+	if err != nil {
+		fatalf("mint CA: %v", err)
+	}
+
+	chains := make(map[string][][]byte)
+	for _, h := range strings.Split(*hosts, ",") {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			continue
+		}
+		leaf, err := ca.IssueLeaf(certgen.LeafConfig{CommonName: h, Pool: pool})
+		if err != nil {
+			fatalf("issue %s: %v", h, err)
+		}
+		chains[h] = leaf.ChainDER
+		path := filepath.Join(*refDir, h+".pem")
+		if err := os.WriteFile(path, x509util.EncodeChainPEM(leaf.ChainDER), 0o644); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fmt.Printf("origin: %s → %s\n", h, path)
+	}
+	if len(chains) == 0 {
+		fatalf("no hosts")
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("origin: serving %d authoritative chains on %s\n", len(chains), ln.Addr())
+	tlswire.Server(ln, tlswire.ResponderConfig{
+		Chain: func(sni string) ([][]byte, error) {
+			chain, ok := chains[sni]
+			if !ok {
+				return nil, fmt.Errorf("no chain for %q", sni)
+			}
+			return chain, nil
+		},
+	}, func(err error) { fmt.Fprintf(os.Stderr, "origin: %v\n", err) })
+}

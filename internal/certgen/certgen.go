@@ -1,18 +1,3 @@
-// Package certgen builds X.509 certificates directly as DER, bypassing
-// crypto/x509.CreateCertificate.
-//
-// The reproduction needs this because the paper's field study observed
-// substitute certificates that the Go standard library refuses to create:
-// 512-bit RSA keys, MD5WithRSA signatures (23 certificates, §5.2), issuer
-// names copied verbatim from real CAs ("claims to be signed by DigiCert,
-// though none of them actually are"), and certificates whose Issuer
-// Organization is entirely absent. This package can mint all of them, plus
-// ordinary well-formed roots and leaves, so the MitM proxy engine can
-// faithfully reproduce every product behavior in the paper.
-//
-// Parsing of everything produced here is delegated to crypto/x509, which
-// accepts (but will not verify) weak algorithms — the same asymmetry browsers
-// of the study period exhibited.
 package certgen
 
 import (

@@ -16,13 +16,25 @@ import (
 // The pool also supports named keys, which reproduces the
 // "IopFailZeroAccessCreate" malware from §5.1: every one of its certificates,
 // observed in 14 countries, carried the same 512-bit public key.
+//
+// With SetAsyncRefill(true) the pool becomes a serving-path structure: once
+// one key of a size exists, Get never blocks on prime generation again —
+// it round-robins over the keys already minted while a background refiller
+// tops the pool up to perSize. cmd/mitmd enables this so connection
+// handling never stalls behind RSA keygen.
 type KeyPool struct {
 	mu      sync.Mutex
-	entropy io.Reader
 	bySize  map[int][]*rsa.PrivateKey
 	perSize int
 	named   map[string]*rsa.PrivateKey
 	cursor  map[int]int
+	async   bool
+	filling map[int]bool
+
+	// genMu serializes all key generation so the entropy reader is never
+	// read concurrently (tests inject deterministic readers).
+	genMu   sync.Mutex
+	entropy io.Reader
 }
 
 // NewKeyPool creates a pool holding up to perSize keys for each bit size,
@@ -40,6 +52,7 @@ func NewKeyPool(perSize int, entropy io.Reader) *KeyPool {
 		perSize: perSize,
 		named:   make(map[string]*rsa.PrivateKey),
 		cursor:  make(map[int]int),
+		filling: make(map[int]bool),
 	}
 }
 
@@ -48,27 +61,139 @@ func NewKeyPool(perSize int, entropy io.Reader) *KeyPool {
 // 1024, 21 certificates to 512, and a handful upgraded to 2432.
 var KeySizes = []int{512, 1024, 2048, 2432}
 
+// SetAsyncRefill selects the pool's refill mode. Synchronous (the default,
+// and what deterministic simulations need) generates inline until perSize
+// keys exist. Asynchronous serves any already-minted key immediately and
+// tops the pool up from a background goroutine, trading key diversity
+// during warmup for a generation-free hot path.
+func (p *KeyPool) SetAsyncRefill(enabled bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.async = enabled
+}
+
+// generate mints one key with generation serialized pool-wide.
+func (p *KeyPool) generate(bits int) (*rsa.PrivateKey, error) {
+	p.genMu.Lock()
+	defer p.genMu.Unlock()
+	k, err := rsa.GenerateKey(p.entropy, bits)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: generate %d-bit key: %w", bits, err)
+	}
+	return k, nil
+}
+
 // Get returns a key of the requested bit size, round-robining over the pool
-// and generating on first use.
+// and generating on first use. Under async refill it only blocks on
+// generation when no key of the size exists yet.
 func (p *KeyPool) Get(bits int) (*rsa.PrivateKey, error) {
 	if bits < 512 {
 		return nil, fmt.Errorf("certgen: refusing key size %d (< 512 bits)", bits)
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	keys := p.bySize[bits]
-	if len(keys) < p.perSize {
-		k, err := rsa.GenerateKey(p.entropy, bits)
-		if err != nil {
-			return nil, fmt.Errorf("certgen: generate %d-bit key: %w", bits, err)
+	if len(keys) >= p.perSize || (p.async && len(keys) > 0) {
+		if p.async && len(keys) < p.perSize {
+			p.kickRefillLocked(bits)
 		}
-		keys = append(keys, k)
-		p.bySize[bits] = keys
+		i := p.cursor[bits] % len(keys)
+		p.cursor[bits] = i + 1
+		k := keys[i]
+		p.mu.Unlock()
 		return k, nil
 	}
-	i := p.cursor[bits] % len(keys)
-	p.cursor[bits] = i + 1
-	return keys[i], nil
+	p.mu.Unlock()
+
+	k, err := p.generate(bits)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.bySize[bits]) < p.perSize {
+		p.bySize[bits] = append(p.bySize[bits], k)
+	}
+	return k, nil
+}
+
+// kickRefillLocked starts at most one background refiller per size. Caller
+// holds p.mu.
+func (p *KeyPool) kickRefillLocked(bits int) {
+	if p.filling[bits] {
+		return
+	}
+	p.filling[bits] = true
+	go p.refill(bits)
+}
+
+// refill tops the pool for one size up to perSize, then exits.
+func (p *KeyPool) refill(bits int) {
+	for {
+		p.mu.Lock()
+		if len(p.bySize[bits]) >= p.perSize {
+			p.filling[bits] = false
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		k, err := p.generate(bits)
+		p.mu.Lock()
+		if err != nil {
+			// Entropy failure: stop this refiller. The error itself is
+			// dropped — warm Gets keep serving the keys that exist and
+			// re-kick a refiller on every call, so a transient failure
+			// heals; a persistent one leaves the pool underfilled but
+			// serving.
+			p.filling[bits] = false
+			p.mu.Unlock()
+			return
+		}
+		if len(p.bySize[bits]) < p.perSize {
+			p.bySize[bits] = append(p.bySize[bits], k)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Prewarm asynchronously fills the pool to perSize for each given size
+// and returns a channel that delivers the outcome exactly once: nil when
+// every size is full, or the first generation error (with the pool left
+// partially warm). Callers that need a warm pool before serving
+// (cmd/mitmd startup) wait and check; callers that just want background
+// warmup can drop the channel.
+func (p *KeyPool) Prewarm(sizes ...int) <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		for _, bits := range sizes {
+			for {
+				p.mu.Lock()
+				full := len(p.bySize[bits]) >= p.perSize
+				p.mu.Unlock()
+				if full {
+					break
+				}
+				k, err := p.generate(bits)
+				if err != nil {
+					done <- err
+					return
+				}
+				p.mu.Lock()
+				if len(p.bySize[bits]) < p.perSize {
+					p.bySize[bits] = append(p.bySize[bits], k)
+				}
+				p.mu.Unlock()
+			}
+		}
+		done <- nil
+	}()
+	return done
+}
+
+// Len reports how many keys of the given size are currently pooled.
+func (p *KeyPool) Len(bits int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.bySize[bits])
 }
 
 // Named returns the key registered under name, generating a key of the
@@ -81,10 +206,10 @@ func (p *KeyPool) Named(name string, bits int) (*rsa.PrivateKey, error) {
 		return k, nil
 	}
 	p.mu.Unlock()
-	// Generate outside the lock; losing a race just wastes one key.
-	k, err := rsa.GenerateKey(p.entropy, bits)
+	// Generate outside the map lock; losing a race just wastes one key.
+	k, err := p.generate(bits)
 	if err != nil {
-		return nil, fmt.Errorf("certgen: generate named key %q: %w", name, err)
+		return nil, fmt.Errorf("certgen: named key %q: %w", name, err)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()

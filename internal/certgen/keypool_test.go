@@ -1,0 +1,87 @@
+package certgen
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestKeyPoolAsyncRefill: once one key of a size exists, Get must return
+// without generating, while the background refiller tops the pool up to
+// perSize; after refill the pool round-robins over distinct keys.
+func TestKeyPoolAsyncRefill(t *testing.T) {
+	pool := NewKeyPool(3, nil)
+	pool.SetAsyncRefill(true)
+
+	k1, err := pool.Get(512) // cold: generates synchronously
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := pool.Get(512) // warm: serves the only key, kicks refill
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != k1 {
+		t.Fatal("async warm Get minted instead of serving the pooled key")
+	}
+
+	waitFor(t, "background refill", func() bool { return pool.Len(512) >= 3 })
+
+	distinct := map[interface{}]bool{}
+	for i := 0; i < 3; i++ {
+		k, err := pool.Get(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[k] = true
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("round-robin over %d distinct keys, want 3", len(distinct))
+	}
+}
+
+// TestKeyPoolSyncUnchanged: without async refill the pool keeps the seed
+// semantics — Get generates until perSize keys exist.
+func TestKeyPoolSyncUnchanged(t *testing.T) {
+	pool := NewKeyPool(2, nil)
+	k1, _ := pool.Get(512)
+	k2, _ := pool.Get(512)
+	if k1 == k2 {
+		t.Fatal("sync pool served a repeat before reaching capacity")
+	}
+	if pool.Len(512) != 2 {
+		t.Fatalf("pool len = %d, want 2", pool.Len(512))
+	}
+}
+
+// TestKeyPoolPrewarm: Prewarm fills every requested size and closes its
+// done channel.
+func TestKeyPoolPrewarm(t *testing.T) {
+	pool := NewKeyPool(2, nil)
+	select {
+	case err := <-pool.Prewarm(512, 768):
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("prewarm did not complete")
+	}
+	if pool.Len(512) != 2 || pool.Len(768) != 2 {
+		t.Fatalf("prewarm lens = %d/%d, want 2/2", pool.Len(512), pool.Len(768))
+	}
+	// A post-prewarm Get is a pure pool hit.
+	if _, err := pool.Get(512); err != nil {
+		t.Fatal(err)
+	}
+}

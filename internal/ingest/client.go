@@ -1,0 +1,144 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// DefaultClientBatch is the report count at which Client flushes
+// automatically. At the wire format's ~1-4 KiB per report this keeps POST
+// bodies well under reportd's request bound while amortizing the HTTP
+// round trip across hundreds of probes.
+const DefaultClientBatch = 256
+
+// ClientStats is the uploader's accounting: what left the client and what
+// the server said about it.
+type ClientStats struct {
+	// Reported counts reports handed to Report.
+	Reported uint64 `json:"reported"`
+	// Posts counts attempted HTTP round trips; PostErrors counts posts
+	// that did not fully succeed (transport failure, undecodable
+	// response, non-200 status, or a server-reported stream error).
+	Posts      uint64 `json:"posts"`
+	PostErrors uint64 `json:"post_errors"`
+	// Accepted and Rejected sum the server's per-batch BatchResult.
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// Client batches reports and streams them to a reportd /ingest/batch
+// endpoint in the binary wire format — the upload half of the live-wire
+// loop (probe fleet → proxy → ingest). Safe for concurrent use by many
+// probe workers; batching serializes on one mutex, the HTTP round trip
+// runs outside it.
+type Client struct {
+	// URL is the full endpoint, e.g. "http://127.0.0.1:8080/ingest/batch".
+	URL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+	// BatchSize triggers an automatic flush (DefaultClientBatch when <= 0).
+	BatchSize int
+
+	mu    sync.Mutex
+	buf   []Report
+	stats ClientStats
+}
+
+// NewClient builds a client for the given /ingest/batch URL.
+func NewClient(url string) *Client {
+	return &Client{URL: url, BatchSize: DefaultClientBatch}
+}
+
+func (c *Client) batchSize() int {
+	if c.BatchSize <= 0 {
+		return DefaultClientBatch
+	}
+	return c.BatchSize
+}
+
+// Report enqueues one report, flushing the batch when full. The returned
+// error is the flush outcome; enqueueing itself cannot fail.
+func (c *Client) Report(r Report) error {
+	c.mu.Lock()
+	c.stats.Reported++
+	c.buf = append(c.buf, r)
+	if len(c.buf) < c.batchSize() {
+		c.mu.Unlock()
+		return nil
+	}
+	batch := c.buf
+	c.buf = make([]Report, 0, c.batchSize())
+	c.mu.Unlock()
+	return c.post(batch)
+}
+
+// Flush uploads any buffered reports.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	batch := c.buf
+	c.buf = nil
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return c.post(batch)
+}
+
+// post encodes and uploads one batch, folding the server's BatchResult
+// into the stats.
+func (c *Client) post(batch []Report) error {
+	body, err := EncodeReports(batch)
+	if err != nil {
+		return fmt.Errorf("ingest: encode batch: %w", err)
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Post(c.URL, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		c.mu.Lock()
+		c.stats.PostErrors++
+		c.mu.Unlock()
+		return fmt.Errorf("ingest: post batch: %w", err)
+	}
+	defer resp.Body.Close()
+	// The endpoint answers a BatchResult on 200/400/413; anything that
+	// does not decode (a 404 from a wrong URL, a proxy error page) is a
+	// failed post — it must land in PostErrors so operators and exit
+	// codes see it, not just stderr.
+	var res BatchResult
+	decodeErr := json.NewDecoder(resp.Body).Decode(&res)
+	c.mu.Lock()
+	c.stats.Posts++
+	if decodeErr != nil {
+		c.stats.PostErrors++
+		c.mu.Unlock()
+		return fmt.Errorf("ingest: batch response (HTTP %d): %w", resp.StatusCode, decodeErr)
+	}
+	c.stats.Accepted += uint64(res.Accepted)
+	c.stats.Rejected += uint64(res.Rejected)
+	switch {
+	case res.Error != "":
+		// Stream-level damage: the server stopped decoding mid-batch.
+		c.stats.PostErrors++
+		c.mu.Unlock()
+		return fmt.Errorf("ingest: server rejected stream after %d reports: %s", res.Accepted, res.Error)
+	case resp.StatusCode != http.StatusOK:
+		c.stats.PostErrors++
+		c.mu.Unlock()
+		return fmt.Errorf("ingest: batch post: HTTP %d", resp.StatusCode)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Stats snapshots the uploader accounting.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

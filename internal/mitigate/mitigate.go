@@ -1,20 +1,3 @@
-// Package mitigate implements the two mitigation families the paper's §7
-// survey centers on, as working systems built over this repository's
-// probe:
-//
-//   - Certificate pinning (trust-on-first-use): remember the key/chain a
-//     host presented and alarm when it changes — the Google proposal the
-//     paper cites, including its blind spot: "Chrome also trusts any
-//     locally installed trusted roots, so benevolent proxies and malware
-//     can circumvent the pinning process."
-//
-//   - Multi-path probing (Perspectives/Convergence/DoubleCheck): ask
-//     several network vantage points what certificate they see for the
-//     same host and compare with the client's view. A proxy near the
-//     client is on none of the notary paths, so the views disagree.
-//
-// Both mitigations operate purely on observed chains, so they compose with
-// netsim topologies and real sockets alike.
 package mitigate
 
 import (

@@ -1,0 +1,15 @@
+// Package netsim is an in-memory internet: hosts addressable by name,
+// listeners, dialers, and — the part the reproduction needs — interception
+// points, where a TLS proxy sits on the path between a set of clients and
+// every server they reach (Figure 3's topology as a network object). In
+// DESIGN.md §1's plane map it is the hermetic transport under the
+// measurement and interception planes.
+//
+// Connections are net.Pipe pairs wrapped with optional latency, so the
+// exact same Tool/Responder/Interceptor code that runs over TCP in the
+// integration tests and the live-wire loop (cmd/mitmd, TestLiveWireSmoke)
+// runs here without sockets. This keeps wire-mode studies hermetic, lets
+// tests build many-client topologies cheaply, and gives the live-wire
+// smoke its control run: the same profile set driven over loopback TCP
+// and over netsim must render byte-identical tables.
+package netsim

@@ -1,12 +1,3 @@
-// Package netsim is an in-memory internet: hosts addressable by name,
-// listeners, dialers, and — the part the reproduction needs — interception
-// points, where a TLS proxy sits on the path between a set of clients and
-// every server they reach (Figure 3's topology as a network object).
-//
-// Connections are net.Pipe pairs wrapped with optional latency, so the
-// exact same Tool/Responder/Interceptor code that runs over TCP in the
-// integration tests runs here without sockets. This keeps wire-mode
-// studies hermetic and lets tests build many-client topologies cheaply.
 package netsim
 
 import (

@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"tlsfof/internal/certgen"
@@ -60,6 +59,9 @@ type Decision struct {
 // that the interception product installed into its victims' root stores,
 // and caches one forgery per host exactly as real products do (§2: the
 // proxy "can issue a substitute certificate for any site the user visits").
+// The cache is a bounded, sharded, single-flight LRU (ForgeCache), so a
+// storm of concurrent connections to one origin forges once and every
+// client sees the identical substitute.
 //
 // Engine is safe for concurrent use.
 type Engine struct {
@@ -69,8 +71,7 @@ type Engine struct {
 	CA *certgen.CA
 
 	pool     *certgen.KeyPool
-	mu       sync.Mutex
-	cache    map[string]*certgen.Leaf
+	cache    *ForgeCache
 	clockNow func() time.Time
 }
 
@@ -82,6 +83,10 @@ type Options struct {
 	CAKeyBits int
 	// Now overrides the validity-period clock for deterministic tests.
 	Now func() time.Time
+	// CacheCap bounds the forged-chain cache (DefaultForgeCacheCap when
+	// <= 0); CacheShards sets its lock striping (default 16).
+	CacheCap    int
+	CacheShards int
 }
 
 // New builds an engine: it mints the profile's root CA and prepares the
@@ -117,7 +122,7 @@ func New(profile Profile, opts Options) (*Engine, error) {
 		Profile:  profile,
 		CA:       ca,
 		pool:     pool,
-		cache:    make(map[string]*certgen.Leaf),
+		cache:    NewForgeCache(opts.CacheCap, opts.CacheShards),
 		clockNow: now,
 	}, nil
 }
@@ -170,17 +175,24 @@ func (e *Engine) validateUpstream(host string, upstream []*x509.Certificate) boo
 }
 
 // forge returns the cached or freshly minted substitute chain for host.
+// Concurrent misses on one host collapse into a single mint (see
+// ForgeCache).
 func (e *Engine) forge(host string, upstream []*x509.Certificate) ([][]byte, error) {
-	e.mu.Lock()
-	leaf, ok := e.cache[host]
-	e.mu.Unlock()
-	if ok {
-		return leaf.ChainDER, nil
+	leaf, err := e.cache.GetOrForge(host, func() (*certgen.Leaf, error) {
+		return e.mint(host, upstream)
+	})
+	if err != nil {
+		return nil, err
 	}
+	return leaf.ChainDER, nil
+}
 
+// mint issues a fresh substitute leaf for host per the profile; it is the
+// single-flight callee behind forge.
+func (e *Engine) mint(host string, upstream []*x509.Certificate) (*certgen.Leaf, error) {
 	cfg := certgen.LeafConfig{
 		CommonName: host,
-		KeyBits:    e.Profile.leafKeyBits(),
+		KeyBits:    e.Profile.LeafKeyBits(),
 		SigAlg:     e.Profile.SigAlg,
 		Pool:       e.pool,
 		NotBefore:  e.clockNow().Add(-24 * time.Hour),
@@ -213,7 +225,7 @@ func (e *Engine) forge(host string, upstream []*x509.Certificate) ([][]byte, err
 	}
 
 	if e.Profile.SharedKeyName != "" {
-		key, err := e.pool.Named(e.Profile.SharedKeyName, e.Profile.leafKeyBits())
+		key, err := e.pool.Named(e.Profile.SharedKeyName, e.Profile.LeafKeyBits())
 		if err != nil {
 			return nil, err
 		}
@@ -224,35 +236,24 @@ func (e *Engine) forge(host string, upstream []*x509.Certificate) ([][]byte, err
 	if err != nil {
 		return nil, fmt.Errorf("proxyengine: forge for %q: %w", host, err)
 	}
-	e.mu.Lock()
-	// Keep the first forgery under concurrent misses so every client of
-	// this proxy sees the same substitute, as in the field data.
-	if existing, ok := e.cache[host]; ok {
-		fresh = existing
-	} else {
-		e.cache[host] = fresh
-	}
-	e.mu.Unlock()
-	return fresh.ChainDER, nil
+	return fresh, nil
 }
 
 // ForgedLeafKey exposes the private key behind the cached forgery for host
 // (nil when none); tests use it to confirm shared-key behavior.
 func (e *Engine) ForgedLeafKey(host string) *rsa.PrivateKey {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if leaf, ok := e.cache[host]; ok {
+	if leaf := e.cache.Peek(host); leaf != nil {
 		return leaf.Key
 	}
 	return nil
 }
 
 // CacheSize reports how many hosts have cached forgeries.
-func (e *Engine) CacheSize() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.cache)
-}
+func (e *Engine) CacheSize() int { return e.cache.Len() }
+
+// CacheStats snapshots the forged-chain cache accounting (hits, misses,
+// forges, evictions); cmd/mitmd serves it from /metrics.
+func (e *Engine) CacheStats() ForgeStats { return e.cache.Stats() }
 
 // HostnameForSNI normalizes an SNI value for interception decisions.
 func HostnameForSNI(sni string) string {

@@ -1,15 +1,3 @@
-// Package proxyengine implements the thing the paper measures: TLS
-// intercepting proxies ("TLS proxies", Figure 3). An Engine forges
-// substitute certificates for upstream hosts according to a behavior
-// Profile; an Interceptor mounts an Engine between real client and server
-// connections at the wire level.
-//
-// Profiles are mechanical renderings of the product behaviors the study
-// documented: which issuer fields a product writes, what key strength it
-// mints (§5.2's 1024/512-bit downgrades), whether it copies the
-// authoritative issuer ("claims DigiCert"), whether it whitelists
-// whale-class sites (§6.3), and how it treats invalid upstream certificates
-// (Kurupira masks them; Bitdefender blocks them — §5.2).
 package proxyengine
 
 import (
@@ -148,8 +136,10 @@ func (p Profile) caSubject() pkix.Name {
 	return name
 }
 
-// leafKeyBits resolves the forged key size default.
-func (p Profile) leafKeyBits() int {
+// LeafKeyBits resolves the forged-leaf key size, applying the default
+// (1024 — the §5.2 majority). It is the single source of truth for what
+// the engine mints, so deployments (cmd/mitmd) prewarm the right size.
+func (p Profile) LeafKeyBits() int {
 	if p.KeyBits == 0 {
 		return 1024
 	}

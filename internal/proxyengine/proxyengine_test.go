@@ -134,10 +134,8 @@ func TestSharedKeyAcrossHosts(t *testing.T) {
 // mustChain fetches the cached forgery chain.
 func (e *Engine) mustChain(t *testing.T, host string) [][]byte {
 	t.Helper()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	leaf, ok := e.cache[host]
-	if !ok {
+	leaf := e.cache.Peek(host)
+	if leaf == nil {
 		t.Fatalf("no cached forgery for %q", host)
 	}
 	return leaf.ChainDER

@@ -1,19 +1,3 @@
-// Package tlswire implements the subset of the TLS 1.0–1.2 wire protocol
-// that the paper's measurement tool exercises: the record layer, the
-// ClientHello, and the plaintext server flight (ServerHello, Certificate,
-// ServerHelloDone), plus alerts.
-//
-// The original tool was written in ActionScript against Flash 9's raw
-// Socket API precisely because no browser API exposed certificates; it
-// performed a partial handshake and aborted after the Certificate message
-// (§3.2). This package is the Go equivalent, implementing both the client
-// side (the probe) and the server side (the responder that authoritative
-// hosts and forging proxies use), so the full measurement path runs over
-// real bytes.
-//
-// Parsing follows the decode-into-preallocated-struct discipline: message
-// structs are reused across reads and slices alias the read buffer where
-// safe, so the hot probe path allocates minimally.
 package tlswire
 
 import (
