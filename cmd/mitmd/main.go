@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"sync"
@@ -154,12 +155,22 @@ func main() {
 		maxConns     = flag.Int("max-conns", 1024, "maximum concurrent intercepted connections")
 		connTimeout  = flag.Duration("conn-timeout", 30*time.Second, "per-connection deadline")
 		statsAddr    = flag.String("stats", "", "serve GET /metrics on this address (disabled when empty)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (disabled when empty)")
 		caOut        = flag.String("ca-out", "", "write the proxy CA certificate PEM to this path")
 		prewarm      = flag.Bool("prewarm", true, "prewarm the key pool and refill it asynchronously")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on shutdown")
 		verbose      = flag.Bool("v", false, "log per-connection errors")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// pprof registers on http.DefaultServeMux; the stats mux below is
+		// separate, so profiling stays on its own listener.
+		go func() {
+			fmt.Fprintf(os.Stderr, "mitmd: pprof: %v\n", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("mitmd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	if *list {
 		for _, p := range classify.KnownProducts {

@@ -16,15 +16,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"path/filepath"
 	"strings"
 
 	"tlsfof/internal/analysis"
+	"tlsfof/internal/chaincache"
 	"tlsfof/internal/classify"
 	"tlsfof/internal/core"
 	"tlsfof/internal/geo"
@@ -43,8 +46,19 @@ func main() {
 		shards   = flag.Int("shards", 4, "ingest pipeline shards (1 = single store)")
 		batch    = flag.Int("batch", ingest.DefaultBatchSize, "ingest pipeline batch size")
 		queue    = flag.Int("queue", 64, "per-shard queue depth in batches")
+		obsCache = flag.Int("obs-cache", chaincache.DefaultCap, "observation cache capacity in distinct (host, chain) pairs (0 disables)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (disabled when empty)")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		// pprof registers on http.DefaultServeMux; the report mux below is
+		// separate, so profiling stays off the public listener.
+		go func() {
+			fmt.Fprintf(os.Stderr, "reportd: pprof: %v\n", http.ListenAndServe(*pprofA, nil))
+		}()
+		fmt.Printf("reportd: pprof on http://%s/debug/pprof/\n", *pprofA)
+	}
 
 	pipeline := ingest.NewPipeline(ingest.Config{
 		Shards:     *shards,
@@ -54,6 +68,12 @@ func main() {
 	})
 	col := core.NewCollector(classify.NewClassifier(), geo.NewDB(), pipeline)
 	col.Campaign = *campaign
+	if *obsCache > 0 {
+		// The hot-path memo: repeated (host, chain) pairs — the paper's
+		// whole point is that a handful of products dominate — skip chain
+		// parsing and classification entirely.
+		col.Cache = core.NewObservationCache(*obsCache, 0)
+	}
 	// snapshot folds the live shards into one queryable DB; the pipeline
 	// is drained first so every already-POSTed report is visible. It is
 	// O(retained records) — export-path only.
@@ -118,6 +138,14 @@ func main() {
 	mux.Handle("/report", col)
 	mux.Handle("/ingest/batch", ingest.BatchHandler(col))
 	mux.Handle("/ingest/stats", ingest.StatsHandler(pipeline))
+	mux.HandleFunc("/cache/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if col.Cache == nil {
+			fmt.Fprintln(w, `{"enabled":false}`)
+			return
+		}
+		json.NewEncoder(w).Encode(col.Cache.Stats())
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, summary())
 	})
@@ -143,8 +171,8 @@ func main() {
 			}
 		})
 	}
-	fmt.Printf("reportd: listening on %s with %d ingest shards (POST /report?host=..., POST /ingest/batch, GET /stats, /ingest/stats, /export.csv, /table/{4,5,6,negligence,products})\n",
-		*listen, *shards)
+	fmt.Printf("reportd: listening on %s with %d ingest shards, obs cache %d (POST /report?host=..., POST /ingest/batch, GET /stats, /ingest/stats, /cache/stats, /export.csv, /table/{4,5,6,negligence,products})\n",
+		*listen, *shards, *obsCache)
 	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "reportd: %v\n", err)
 		os.Exit(1)

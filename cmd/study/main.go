@@ -33,10 +33,11 @@ func main() {
 		svgPath   = flag.String("svg", "", "write Figure 7 as SVG to this path")
 		csvPath   = flag.String("csv", "", "export proxied measurement records as CSV to this path")
 		jsonlPath = flag.String("jsonl", "", "export proxied measurement records as JSON Lines to this path")
+		obsCache  = flag.Bool("obs-cache", false, "derive observations through the fingerprint-keyed chain cache (same tables; prints cache stats)")
 	)
 	flag.Parse()
 
-	cfg := tlsfof.StudyConfig{Seed: *seed, Scale: *scale, Shards: *shards, IngestBatch: *batchSize}
+	cfg := tlsfof.StudyConfig{Seed: *seed, Scale: *scale, Shards: *shards, IngestBatch: *batchSize, ChainCache: *obsCache}
 	switch strings.ToLower(*studyName) {
 	case "first", "1":
 		cfg.Study = tlsfof.Study1
@@ -71,8 +72,13 @@ func main() {
 		fatalf("study failed: %v", err)
 	}
 	tested, proxied := tlsfof.Totals(res)
-	fmt.Fprintf(os.Stderr, "completed in %v: %d certificate tests, %d proxied (%.2f%%)\n\n",
+	fmt.Fprintf(os.Stderr, "completed in %v: %d certificate tests, %d proxied (%.2f%%)\n",
 		res.Duration.Round(1000000), tested, proxied, 100*float64(proxied)/float64(tested))
+	if st := res.ChainCacheStats; st != nil {
+		fmt.Fprintf(os.Stderr, "chain cache: %d derives, %d hits, %d evictions (%d/%d resident)\n",
+			st.Derives, st.Hits, st.Evictions, st.Size, st.Cap)
+	}
+	fmt.Fprintln(os.Stderr)
 
 	order := []tlsfof.Table{
 		tlsfof.TableHosts, tlsfof.TableCampaigns, tlsfof.TableCountriesFirst,

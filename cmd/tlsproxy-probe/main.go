@@ -106,9 +106,22 @@ func runFleet(addr, sni, hostList, reportURL string, n, count int, duration, tim
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One Prober per worker: record/handshake buffers and marshal
+			// scratch are reused across every probe this goroutine runs —
+			// the steady-state loop allocates only the captured chain. The
+			// chain arena outlives the Prober, so handing it to the
+			// batching upload client is safe.
+			prober := tlswire.NewProber()
+			dialer := net.Dialer{Timeout: timeout}
 			for i := 0; count > 0 && i < count || count == 0 && time.Now().Before(deadline); i++ {
 				host := sniNames[(w+i)%len(sniNames)]
-				res, err := tlswire.ProbeAddr(addr, tlswire.ProbeOptions{ServerName: host, Timeout: timeout})
+				conn, err := dialer.Dial("tcp", addr)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				res, err := prober.Probe(conn, tlswire.ProbeOptions{ServerName: host, Timeout: timeout})
+				conn.Close()
 				if err != nil {
 					failures.Add(1)
 					continue

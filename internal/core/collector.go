@@ -44,6 +44,13 @@ type Collector struct {
 	// Campaign labels measurements ingested via HTTP (the ad campaign the
 	// deployment ran under).
 	Campaign string
+	// Cache, when non-nil, memoizes derived observations by
+	// (host, authoritative-chain, observed-chain) fingerprint, so the
+	// report hot path parses and classifies each distinct chain once
+	// instead of once per report. Safe to share across collectors; the
+	// key covers every Observe input, so a shared cache never leaks an
+	// observation across differing authoritative chains.
+	Cache *ObservationCache
 
 	// authoritative is a copy-on-write map: readers load the current
 	// snapshot without locking (Ingest runs millions of times per
@@ -105,7 +112,7 @@ func (c *Collector) Ingest(clientIP uint32, host string, observedDER [][]byte, c
 	if !ok {
 		return Measurement{}, fmt.Errorf("core: no authoritative chain for %q", host)
 	}
-	obs, err := Observe(host, auth, observedDER, c.Classifier)
+	obs, err := ObserveCached(c.Cache, host, auth, observedDER, c.Classifier)
 	if err != nil {
 		return Measurement{}, err
 	}

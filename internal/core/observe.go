@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"tlsfof/internal/chaincache"
 	"tlsfof/internal/classify"
 	"tlsfof/internal/hostdb"
 	"tlsfof/internal/x509util"
@@ -98,6 +99,34 @@ func Observe(hostname string, authoritativeDER, observedDER [][]byte, cl *classi
 		}
 	}
 	return o, nil
+}
+
+// ObservationCache memoizes derived observations by their complete input
+// — (host, authoritative chain, observed chain) — the report path's
+// chain-analysis cache. Observe is a pure function of exactly those
+// inputs and the cache serves a value only for byte-identical inputs, so
+// memoization is lossless (DESIGN.md §8).
+type ObservationCache = chaincache.Cache[Observation]
+
+// NewObservationCache builds an observation cache (chaincache defaults
+// applied when cap or shards <= 0).
+func NewObservationCache(cap, shards int) *ObservationCache {
+	return chaincache.New[Observation](cap, shards)
+}
+
+// ObserveCached is Observe behind the content-keyed memo: repeated
+// (host, chain) pairs — the overwhelming majority of reports, per the
+// paper's product skew — skip certificate parsing, chain comparison, and
+// classification entirely. A nil cache degrades to plain Observe.
+// Derivation is single-flight per distinct input, and derivation errors
+// are never cached.
+func ObserveCached(cache *ObservationCache, hostname string, authoritativeDER, observedDER [][]byte, cl *classify.Classifier) (Observation, error) {
+	if cache == nil {
+		return Observe(hostname, authoritativeDER, observedDER, cl)
+	}
+	return cache.GetOrDerive(hostname, authoritativeDER, observedDER, func() (Observation, error) {
+		return Observe(hostname, authoritativeDER, observedDER, cl)
+	})
 }
 
 // Measurement is one completed certificate test with its full context —

@@ -114,6 +114,9 @@ func (t *Tool) probeOne(h hostdb.Host) HostResult {
 	}
 
 	// Step 1–2: partial TLS handshake, record ServerHello + Certificate.
+	// tlswire.Probe draws a pooled Prober, so the parallel host probes
+	// reuse warm record/handshake buffers instead of growing fresh ones
+	// per host.
 	conn, err := t.DialTLS(h.Name)
 	if err != nil {
 		res.Err = fmt.Errorf("tls dial: %w", err)

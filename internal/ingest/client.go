@@ -45,6 +45,14 @@ type Client struct {
 	mu    sync.Mutex
 	buf   []Report
 	stats ClientStats
+
+	// batchPool recycles flushed batch slices and encodePool the wire
+	// encode buffers, so a steady upload stream re-makes neither: enqueue
+	// appends into recycled capacity and each flush encodes into a warm
+	// buffer. Pools (not single fields) because posts from concurrent
+	// reporters overlap.
+	batchPool  sync.Pool
+	encodePool sync.Pool
 }
 
 // NewClient builds a client for the given /ingest/batch URL.
@@ -70,28 +78,56 @@ func (c *Client) Report(r Report) error {
 		return nil
 	}
 	batch := c.buf
-	c.buf = make([]Report, 0, c.batchSize())
+	c.buf = c.takeBatchSlice()
 	c.mu.Unlock()
 	return c.post(batch)
+}
+
+// takeBatchSlice returns an empty batch slice, recycled from a completed
+// post when one is available. Caller holds c.mu (only for the stats
+// consistency of the surrounding code; the pool itself is concurrency
+// safe).
+func (c *Client) takeBatchSlice() []Report {
+	if bp, ok := c.batchPool.Get().(*[]Report); ok {
+		return (*bp)[:0]
+	}
+	return make([]Report, 0, c.batchSize())
+}
+
+// recycleBatch returns a posted batch slice to the pool. Entries are
+// cleared first so recycled capacity does not pin report chains in
+// memory.
+func (c *Client) recycleBatch(batch []Report) {
+	clear(batch)
+	batch = batch[:0]
+	c.batchPool.Put(&batch)
 }
 
 // Flush uploads any buffered reports.
 func (c *Client) Flush() error {
 	c.mu.Lock()
-	batch := c.buf
-	c.buf = nil
-	c.mu.Unlock()
-	if len(batch) == 0 {
+	if len(c.buf) == 0 {
+		c.mu.Unlock()
 		return nil
 	}
+	batch := c.buf
+	c.buf = c.takeBatchSlice()
+	c.mu.Unlock()
 	return c.post(batch)
 }
 
 // post encodes and uploads one batch, folding the server's BatchResult
-// into the stats.
+// into the stats. The batch slice and encode buffer are recycled on every
+// exit path.
 func (c *Client) post(batch []Report) error {
-	body, err := EncodeReports(batch)
+	var scratch []byte
+	if bp, ok := c.encodePool.Get().(*[]byte); ok {
+		scratch = (*bp)[:0]
+	}
+	body, err := AppendReports(scratch, batch)
+	c.recycleBatch(batch)
 	if err != nil {
+		c.encodePool.Put(&scratch)
 		return fmt.Errorf("ingest: encode batch: %w", err)
 	}
 	httpc := c.HTTPClient
@@ -100,11 +136,20 @@ func (c *Client) post(batch []Report) error {
 	}
 	resp, err := httpc.Post(c.URL, "application/octet-stream", bytes.NewReader(body))
 	if err != nil {
+		// The transport may briefly reference the request body after an
+		// error return, so the encode buffer is dropped, not recycled —
+		// the next post re-grows one.
 		c.mu.Lock()
 		c.stats.PostErrors++
 		c.mu.Unlock()
 		return fmt.Errorf("ingest: post batch: %w", err)
 	}
+	// net/http sanctions request reuse once the response body is closed;
+	// defers run LIFO, so the buffer is recycled strictly after Close.
+	defer func() {
+		body = body[:0]
+		c.encodePool.Put(&body)
+	}()
 	defer resp.Body.Close()
 	// The endpoint answers a BatchResult on 200/400/413; anything that
 	// does not decode (a 404 from a wrong URL, a proxy error page) is a

@@ -1,0 +1,184 @@
+package ingest
+
+// Allocation and recycling tests for the upload client: the flush path
+// must recycle its batch slices instead of re-making one per flush
+// (ISSUE 3 satellite), the steady-state enqueue must not allocate, and
+// the append-style wire encoder must be zero-alloc into a warm buffer.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"unsafe"
+
+	"tlsfof/internal/raceflag"
+)
+
+// cannedBatchServer answers every post with a fixed all-accepted
+// BatchResult without decoding the body — the cheapest well-formed peer
+// for client-side measurements.
+func cannedBatchServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"accepted":1,"rejected":0}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func testReport(host string) Report {
+	return Report{Host: host, ChainDER: [][]byte{{1, 2, 3, 4}, {5, 6}}}
+}
+
+// TestClientRecyclesBatchSlices pins the recycling behavior: across many
+// automatic flushes the client must settle on a fixed set of batch
+// backing arrays (the in-fill slice plus the one being posted) instead of
+// making a fresh slice per flush.
+func TestClientRecyclesBatchSlices(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("sync.Pool intentionally drops entries under -race; recycling is not observable")
+	}
+	srv := cannedBatchServer(t)
+	c := NewClient(srv.URL)
+	c.BatchSize = 4
+
+	backings := make(map[uintptr]int)
+	const cycles = 8
+	for i := 0; i < cycles; i++ {
+		for j := 0; j < c.BatchSize; j++ {
+			if err := c.Report(testReport("recycle.example")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// One flush just happened; record the backing array now in fill.
+		c.mu.Lock()
+		if cap(c.buf) < c.BatchSize {
+			t.Fatalf("cycle %d: in-fill batch capacity %d < batch size %d", i, cap(c.buf), c.BatchSize)
+		}
+		backings[uintptr(unsafe.Pointer(unsafe.SliceData(c.buf[:1])))]++
+		c.mu.Unlock()
+	}
+	// Posting is synchronous here, so steady state needs at most two
+	// arrays; without recycling every cycle would mint a fresh one.
+	if len(backings) > 2 {
+		t.Fatalf("saw %d distinct batch backing arrays over %d flush cycles; recycling broken", len(backings), cycles)
+	}
+	st := c.Stats()
+	if st.Reported != cycles*4 || st.Posts != cycles || st.PostErrors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRecycledBatchesAreCleared pins the memory-retention contract:
+// recycled slices must not keep references to posted report chains.
+func TestRecycledBatchesAreCleared(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("sync.Pool intentionally drops entries under -race; recycling is not observable")
+	}
+	srv := cannedBatchServer(t)
+	c := NewClient(srv.URL)
+	c.BatchSize = 2
+	for i := 0; i < 2; i++ {
+		if err := c.Report(testReport("clear.example")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp, ok := c.batchPool.Get().(*[]Report)
+	if !ok {
+		t.Fatal("no recycled batch in the pool after a flush")
+	}
+	full := (*bp)[:cap(*bp)]
+	for i, r := range full {
+		if r.Host != "" || r.ChainDER != nil {
+			t.Fatalf("recycled slot %d still references a posted report: %+v", i, r)
+		}
+	}
+}
+
+// TestClientEnqueueSteadyStateAllocs pins the enqueue path at zero
+// allocations once the batch slice has its working capacity.
+func TestClientEnqueueSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	c := NewClient("http://unused.invalid/ingest/batch")
+	c.BatchSize = 1 << 20 // never auto-flush during the measurement
+	r := testReport("alloc.example")
+	c.Report(r) // grow once
+	// Pre-grow to the measured count so append never reallocates.
+	const runs = 512
+	c.mu.Lock()
+	need := len(c.buf) + runs + 8
+	grown := make([]Report, len(c.buf), need)
+	copy(grown, c.buf)
+	c.buf = grown
+	c.mu.Unlock()
+	allocs := testing.AllocsPerRun(runs, func() {
+		if err := c.Report(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state enqueue costs %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAppendReportsSteadyStateAllocs pins the encode path at zero
+// allocations into a warm buffer.
+func TestAppendReportsSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	batch := make([]Report, 64)
+	for i := range batch {
+		batch[i] = testReport("append.example")
+	}
+	warm, err := AppendReports(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := AppendReports(warm[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm = out[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AppendReports costs %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAppendReportsMatchesEncoder pins the two encoding paths to the same
+// bytes.
+func TestAppendReportsMatchesEncoder(t *testing.T) {
+	reports := []Report{
+		testReport("a.example"),
+		{Host: "b.example", ChainDER: [][]byte{make([]byte, 300)}},
+	}
+	one, err := EncodeReports(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := AppendReports([]byte("pre"), reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(two[:3]) != "pre" || string(two[3:]) != string(one) {
+		t.Fatal("AppendReports diverges from EncodeReports")
+	}
+	// Decoder round trip.
+	dec := NewDecoder(bytes.NewReader(one))
+	for i := 0; ; i++ {
+		rep, err := dec.Next()
+		if err != nil {
+			break
+		}
+		if rep.Host != reports[i].Host || len(rep.ChainDER) != len(reports[i].ChainDER) {
+			t.Fatalf("report %d corrupted in round trip", i)
+		}
+	}
+}

@@ -103,24 +103,35 @@ func (e *Encoder) Flush() error { return e.w.Flush() }
 // EncodeReports is a convenience one-shot encoding of reports into a
 // complete wire stream.
 func EncodeReports(reports []Report) ([]byte, error) {
-	var buf writerBuf
-	enc := NewEncoder(&buf)
-	for _, r := range reports {
-		if err := enc.Encode(r); err != nil {
-			return nil, err
-		}
-	}
-	if err := enc.Flush(); err != nil {
-		return nil, err
-	}
-	return buf.b, nil
+	return AppendReports(nil, reports)
 }
 
-type writerBuf struct{ b []byte }
-
-func (w *writerBuf) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
+// AppendReports appends a complete wire stream (header + one frame per
+// report) to dst and returns the extended slice — the zero-realloc
+// encoding path: a caller recycling dst across batches allocates nothing
+// once the buffer has grown to the working batch size. The validation is
+// identical to Encoder.Encode.
+func AppendReports(dst []byte, reports []Report) ([]byte, error) {
+	dst = append(dst, wireMagic[:]...)
+	for _, r := range reports {
+		if len(r.Host) == 0 || len(r.Host) > MaxWireHostLen {
+			return nil, fmt.Errorf("ingest: host length %d outside [1,%d]", len(r.Host), MaxWireHostLen)
+		}
+		if len(r.ChainDER) == 0 || len(r.ChainDER) > MaxWireChainCerts {
+			return nil, fmt.Errorf("ingest: chain of %d certs outside [1,%d]", len(r.ChainDER), MaxWireChainCerts)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(r.Host)))
+		dst = append(dst, r.Host...)
+		dst = binary.AppendUvarint(dst, uint64(len(r.ChainDER)))
+		for _, der := range r.ChainDER {
+			if len(der) == 0 || len(der) > MaxWireCertLen {
+				return nil, fmt.Errorf("ingest: certificate of %d bytes outside [1,%d]", len(der), MaxWireCertLen)
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(der)))
+			dst = append(dst, der...)
+		}
+	}
+	return dst, nil
 }
 
 // Decoder reads a wire stream one report at a time. Not safe for

@@ -66,27 +66,66 @@ func (ic *Interceptor) upstreamChain(host string) ([][]byte, error) {
 	return res.ChainDER, nil
 }
 
+// connState is the pooled per-connection scratch of the interception hot
+// path: the ClientHello sniff buffer, record/handshake read buffers, and
+// the parsed hello. One proxy process serving thousands of connections
+// per second re-grows none of it.
+type connState struct {
+	sniffed bytes.Buffer
+	tee     teeSniffer
+	rr      *tlswire.RecordReader
+	hr      *tlswire.HandshakeReader
+	ch      tlswire.ClientHello
+	replay  replayConn
+}
+
+// teeSniffer mirrors io.TeeReader without the per-connection allocation.
+type teeSniffer struct {
+	r   io.Reader
+	buf *bytes.Buffer
+}
+
+func (t *teeSniffer) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.buf.Write(p[:n])
+	}
+	return n, err
+}
+
+var connStatePool = sync.Pool{
+	New: func() any {
+		cs := &connState{}
+		cs.tee.buf = &cs.sniffed
+		cs.rr = tlswire.NewRecordReader(nil)
+		cs.hr = tlswire.NewHandshakeReader(cs.rr)
+		return cs
+	},
+}
+
 // HandleConn processes one intercepted client connection. It reads the
 // ClientHello to learn the target host (SNI), then executes the engine's
 // decision on the wire. The caller owns closing clientConn.
 func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 	// Buffer everything we read while sniffing the ClientHello so a
 	// passthrough can replay it to the upstream byte-for-byte.
-	var sniffed bytes.Buffer
-	tee := io.TeeReader(clientConn, &sniffed)
-	hr := tlswire.NewHandshakeReader(tlswire.NewRecordReader(tee))
-	msgType, body, err := hr.Next()
+	cs := connStatePool.Get().(*connState)
+	defer connStatePool.Put(cs)
+	cs.sniffed.Reset()
+	cs.tee.r = clientConn
+	cs.rr.Reset(&cs.tee)
+	cs.hr.Reset(cs.rr)
+	msgType, body, err := cs.hr.Next()
 	if err != nil {
 		return fmt.Errorf("proxyengine: read ClientHello: %w", err)
 	}
 	if msgType != tlswire.TypeClientHello {
 		return fmt.Errorf("proxyengine: expected ClientHello, got type %d", msgType)
 	}
-	var ch tlswire.ClientHello
-	if err := tlswire.ParseClientHello(body, &ch); err != nil {
+	if err := tlswire.ParseClientHello(body, &cs.ch); err != nil {
 		return err
 	}
-	host := HostnameForSNI(ch.ServerName)
+	host := HostnameForSNI(cs.ch.ServerName)
 	if host == "" {
 		return fmt.Errorf("proxyengine: client sent no SNI; cannot route")
 	}
@@ -111,14 +150,15 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 		return err
 
 	case ActionPassthrough:
-		return ic.splice(clientConn, host, sniffed.Bytes())
+		return ic.splice(clientConn, host, cs.sniffed.Bytes())
 
 	case ActionIntercept:
 		if err != nil {
 			return err
 		}
-		replay := &replayConn{Conn: clientConn, pre: bytes.NewReader(sniffed.Bytes())}
-		return tlswire.Respond(replay, tlswire.ResponderConfig{
+		cs.replay.Conn = clientConn
+		cs.replay.pre.Reset(cs.sniffed.Bytes())
+		return tlswire.Respond(&cs.replay, tlswire.ResponderConfig{
 			Chain: tlswire.StaticChain(decision.ChainDER),
 		})
 	default:
@@ -172,7 +212,7 @@ func (ic *Interceptor) Serve(ln net.Listener, onErr func(error)) {
 // connection.
 type replayConn struct {
 	net.Conn
-	pre *bytes.Reader
+	pre bytes.Reader
 }
 
 func (c *replayConn) Read(p []byte) (int, error) {

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in, so
+// allocation-pinning tests can skip themselves under -race (instrumented
+// builds allocate on paths the production build does not).
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

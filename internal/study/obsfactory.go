@@ -51,11 +51,19 @@ func sigOf(p *classify.Product) behaviorSig {
 // obsFactory produces core.Observation values for (deployment, host) pairs
 // using real forging engines, memoizing aggressively: the 12.3M-test study
 // touches at most |deployments| × |hosts| distinct pairs.
+//
+// Two memo backends exist. The default host-keyed maps (clean, sigObs)
+// are the original fast-mode design; when cache is non-nil those maps are
+// bypassed and every observation derives through the fingerprint-keyed
+// chaincache — the identical machinery the live report path
+// (core.Collector.Cache) uses, which is what lets the equivalence test
+// prove cache-on and cache-off render byte-identical tables.
 type obsFactory struct {
 	classifier *classify.Classifier
 	pool       *certgen.KeyPool
 	hosts      []hostdb.Host
 	auth       *Authoritative
+	cache      *core.ObservationCache
 
 	mu      sync.Mutex
 	clean   map[string]core.Observation
@@ -84,14 +92,19 @@ func newObsFactory(cl *classify.Classifier, pool *certgen.KeyPool, hosts []hostd
 
 // cleanObservation returns the no-proxy observation for host.
 func (f *obsFactory) cleanObservation(host string) (core.Observation, error) {
+	chain, ok := f.auth.Chains[host]
+	if !ok {
+		return core.Observation{}, fmt.Errorf("study: no authoritative chain for %q", host)
+	}
+	if f.cache != nil {
+		// Fingerprint-memoized path: no host map, no factory lock — the
+		// cache's shard locks and single-flight do the memoization.
+		return core.ObserveCached(f.cache, host, chain, chain, f.classifier)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if o, ok := f.clean[host]; ok {
 		return o, nil
-	}
-	chain, ok := f.auth.Chains[host]
-	if !ok {
-		return core.Observation{}, fmt.Errorf("study: no authoritative chain for %q", host)
 	}
 	o, err := core.Observe(host, chain, chain, f.classifier)
 	if err != nil {
@@ -158,10 +171,12 @@ func (f *obsFactory) observation(deps []clientpop.Deployment, depIdx, hostIdx in
 // a behavior signature against one host.
 func (f *obsFactory) signatureObservation(sig behaviorSig, host string) (core.Observation, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if byHost, ok := f.sigObs[sig]; ok {
-		if o, ok := byHost[host]; ok {
-			return o, nil
+	if f.cache == nil {
+		if byHost, ok := f.sigObs[sig]; ok {
+			if o, ok := byHost[host]; ok {
+				f.mu.Unlock()
+				return o, nil
+			}
 		}
 	}
 	engine, ok := f.engines[sig]
@@ -185,10 +200,12 @@ func (f *obsFactory) signatureObservation(sig behaviorSig, host string) (core.Ob
 		var err error
 		engine, err = proxyengine.New(profile, proxyengine.Options{Pool: f.pool})
 		if err != nil {
+			f.mu.Unlock()
 			return core.Observation{}, err
 		}
 		f.engines[sig] = engine
 	}
+	f.mu.Unlock()
 
 	authChain, ok := f.auth.Chains[host]
 	if !ok {
@@ -198,17 +215,26 @@ func (f *obsFactory) signatureObservation(sig behaviorSig, host string) (core.Ob
 	if err != nil {
 		return core.Observation{}, err
 	}
+	// The engine's ForgeCache single-flights the mint, so re-Deciding on
+	// the cached path costs one sharded map hit.
 	decision, err := engine.Decide(host, upstream, authChain)
 	if err != nil {
 		return core.Observation{}, err
+	}
+	if f.cache != nil {
+		// Fingerprint-memoized path: identical machinery to the live
+		// collector's hot path.
+		return core.ObserveCached(f.cache, host, authChain, decision.ChainDER, f.classifier)
 	}
 	o, err := core.Observe(host, authChain, decision.ChainDER, f.classifier)
 	if err != nil {
 		return core.Observation{}, err
 	}
+	f.mu.Lock()
 	if f.sigObs[sig] == nil {
 		f.sigObs[sig] = make(map[string]core.Observation)
 	}
 	f.sigObs[sig][host] = o
+	f.mu.Unlock()
 	return o, nil
 }

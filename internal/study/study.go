@@ -7,6 +7,7 @@ import (
 
 	"tlsfof/internal/adsim"
 	"tlsfof/internal/certgen"
+	"tlsfof/internal/chaincache"
 	"tlsfof/internal/classify"
 	"tlsfof/internal/clientpop"
 	"tlsfof/internal/core"
@@ -40,6 +41,12 @@ type Config struct {
 	// IngestBatch sets the pipeline batch size (ingest.DefaultBatchSize
 	// when <= 0); only meaningful with Shards > 1.
 	IngestBatch int
+	// ChainCache derives observations through the fingerprint-keyed memo
+	// (internal/chaincache) instead of the factory's host-keyed maps —
+	// the same cache the live report path uses. Tables are byte-identical
+	// either way (the cache key covers every Observe input); the
+	// equivalence test in chaincache_equiv_test.go pins that.
+	ChainCache bool
 }
 
 // Result is a completed study run.
@@ -57,6 +64,9 @@ type Result struct {
 	// IngestStats holds the pipeline accounting when the run used the
 	// sharded path (nil on the single-threaded path).
 	IngestStats *ingest.Stats
+	// ChainCacheStats holds the observation-memo accounting when the run
+	// used Config.ChainCache (nil otherwise).
+	ChainCacheStats *chaincache.Stats
 }
 
 // studyEpoch anchors synthetic measurement timestamps: the first study
@@ -97,6 +107,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	classifier := classify.NewClassifier()
 	factory := newObsFactory(classifier, pool, hosts, auth, len(pop.Deployments()))
+	if cfg.ChainCache {
+		factory.cache = core.NewObservationCache(0, 0)
+	}
 
 	// Run the ad campaigns.
 	var campaigns []adsim.Campaign
@@ -176,7 +189,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	return &Result{
+	res := &Result{
 		Config:      cfg,
 		Store:       db,
 		Outcomes:    outcomes,
@@ -188,7 +201,12 @@ func Run(cfg Config) (*Result, error) {
 		Duration:    time.Since(wall),
 		StartedAt:   wall,
 		IngestStats: ingestStats,
-	}, nil
+	}
+	if factory.cache != nil {
+		st := factory.cache.Stats()
+		res.ChainCacheStats = &st
+	}
+	return res, nil
 }
 
 // campaignGen generates the measurement stream for campaigns; the sink

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -35,6 +36,34 @@ type ProbeOptions struct {
 	Entropy io.Reader
 }
 
+// Prober holds the reusable state of one probing goroutine: record and
+// handshake read buffers, the ClientHello and its marshal scratch, and
+// the result struct. A fleet worker that reuses one Prober across probes
+// keeps the steady-state probe loop down to the two allocations that must
+// escape (the captured chain's arena and its slice header).
+//
+// A Prober is not safe for concurrent use; give each goroutine its own
+// (the package-level Probe function does this via an internal pool).
+type Prober struct {
+	rr  RecordReader
+	hr  HandshakeReader
+	ch  ClientHello
+	res ProbeResult
+	// scratch assembles the ClientHello flight for a single conn.Write.
+	scratch []byte
+}
+
+// NewProber returns a Prober with warm buffers.
+func NewProber() *Prober {
+	p := &Prober{scratch: make([]byte, 0, 512)}
+	p.rr.buf = make([]byte, 0, 4096)
+	return p
+}
+
+// proberPool backs the package-level Probe function so every caller —
+// core.Tool's parallel host probes included — reuses warm probe state.
+var proberPool = sync.Pool{New: func() any { return NewProber() }}
+
 // Probe performs the paper's partial TLS handshake on an established
 // connection: send ClientHello, read the server flight until the
 // Certificate message, then abort with a close_notify alert.
@@ -42,7 +71,37 @@ type ProbeOptions struct {
 // It never completes key exchange, never validates anything, and works
 // against any RSA/ECDHE server — exactly the behavior that let the original
 // Flash 9 tool run without a TLS implementation.
+//
+// The returned result is freshly allocated and immortal; hot loops that
+// want to skip even that allocation should hold a Prober and call its
+// Probe method.
 func Probe(conn net.Conn, opts ProbeOptions) (*ProbeResult, error) {
+	p := proberPool.Get().(*Prober)
+	res, err := p.Probe(conn, opts)
+	if err != nil {
+		proberPool.Put(p)
+		return nil, err
+	}
+	// Copy out of the pooled result so the caller owns what it holds. The
+	// chain arena is per-probe and transfers ownership as-is; SessionID is
+	// the one pooled buffer that must be cloned.
+	out := &ProbeResult{
+		ServerHello:   res.ServerHello,
+		ChainDER:      res.ChainDER,
+		HandshakeTime: res.HandshakeTime,
+	}
+	if res.ServerHello.SessionID != nil {
+		out.ServerHello.SessionID = append([]byte(nil), res.ServerHello.SessionID...)
+	}
+	proberPool.Put(p)
+	return out, nil
+}
+
+// Probe runs one partial handshake using the Prober's buffers. The result
+// aliases the Prober and is valid until the next call — except ChainDER,
+// which is freshly allocated per probe (it is the measurement payload and
+// outlives any buffer reuse).
+func (p *Prober) Probe(conn net.Conn, opts ProbeOptions) (*ProbeResult, error) {
 	if opts.Version == 0 {
 		opts.Version = VersionTLS12
 	}
@@ -59,33 +118,40 @@ func Probe(conn net.Conn, opts ProbeOptions) (*ProbeResult, error) {
 		}
 	}
 
-	ch := ClientHello{
-		Version:      opts.Version,
-		CipherSuites: opts.CipherSuites,
-		ServerName:   opts.ServerName,
-	}
-	if _, err := io.ReadFull(entropy, ch.Random[:]); err != nil {
+	p.ch.Version = opts.Version
+	p.ch.CipherSuites = append(p.ch.CipherSuites[:0], opts.CipherSuites...)
+	p.ch.ServerName = opts.ServerName
+	p.ch.SessionID = p.ch.SessionID[:0]
+	p.ch.CompressionMethods = p.ch.CompressionMethods[:0]
+	if _, err := io.ReadFull(entropy, p.ch.Random[:]); err != nil {
 		return nil, fmt.Errorf("tlswire: client random: %w", err)
 	}
-	body, err := ch.Marshal()
+	// Build body and record framing in one scratch buffer: the body goes
+	// first, then the framed flight, and only the flight hits the wire.
+	// The ClientHello record carries TLS 1.0 as its record-layer version
+	// for maximum compatibility, as real stacks do.
+	body, err := p.ch.AppendTo(p.scratch[:0])
 	if err != nil {
 		return nil, err
 	}
+	flight := AppendHandshake(body, VersionTLS10, TypeClientHello, body)
 	start := time.Now()
-	// The ClientHello record carries TLS 1.0 as its record-layer version
-	// for maximum compatibility, as real stacks do.
-	if err := WriteHandshake(conn, VersionTLS10, TypeClientHello, body); err != nil {
+	if _, err := conn.Write(flight[len(body):]); err != nil {
+		p.scratch = flight[:0]
 		return nil, fmt.Errorf("tlswire: send ClientHello: %w", err)
 	}
+	p.scratch = flight[:0]
 
-	hr := NewHandshakeReader(NewRecordReader(conn))
-	result := &ProbeResult{}
+	p.rr.Reset(conn)
+	p.hr.Reset(&p.rr)
+	p.res = ProbeResult{ServerHello: ServerHello{SessionID: p.res.ServerHello.SessionID[:0]}}
+	result := &p.res
 	sawServerHello := false
 	sawCertificate := false
 	for {
-		msgType, msgBody, err := hr.Next()
+		msgType, msgBody, err := p.hr.Next()
 		if err == ErrAlertReceived {
-			return nil, fmt.Errorf("tlswire: server alert level=%d desc=%d before Certificate", hr.LastAlert.Level, hr.LastAlert.Description)
+			return nil, fmt.Errorf("tlswire: server alert level=%d desc=%d before Certificate", p.hr.LastAlert.Level, p.hr.LastAlert.Description)
 		}
 		if err != nil {
 			return nil, err
@@ -100,11 +166,13 @@ func Probe(conn net.Conn, opts ProbeOptions) (*ProbeResult, error) {
 			if !sawServerHello {
 				return nil, fmt.Errorf("tlswire: Certificate before ServerHello")
 			}
-			var cm CertificateMsg
-			if err := ParseCertificateMsg(msgBody, &cm); err != nil {
+			// The chain must outlive this Prober's buffers: a fresh
+			// arena + slice header per probe, nothing reused.
+			chain, err := appendCertificateChain(nil, msgBody)
+			if err != nil {
 				return nil, err
 			}
-			result.ChainDER = cm.ChainDER
+			result.ChainDER = chain
 			result.HandshakeTime = time.Since(start)
 			sawCertificate = true
 		case TypeServerKeyExch, TypeCertRequest:
@@ -116,7 +184,12 @@ func Probe(conn net.Conn, opts ProbeOptions) (*ProbeResult, error) {
 			// The flight is fully drained; abort the handshake (§3.2:
 			// "the handshake is aborted and the connection is closed").
 			// Ignore write errors — the measurement is already complete.
-			_ = WriteAlert(conn, opts.Version, Alert{Level: AlertLevelWarning, Description: AlertCloseNotify})
+			// The alert goes through the Prober's scratch, not a fresh
+			// payload slice.
+			p.scratch = AppendAlert(p.scratch[:0], opts.Version,
+				Alert{Level: AlertLevelWarning, Description: AlertCloseNotify})
+			_, _ = conn.Write(p.scratch)
+			p.scratch = p.scratch[:0]
 			return result, nil
 		default:
 			return nil, fmt.Errorf("tlswire: unexpected handshake message type %d", msgType)

@@ -1,0 +1,310 @@
+package tlswire
+
+// Tests for the zero-realloc hot path: AppendTo/AppendHandshake framing
+// must be byte-identical to the Marshal/WriteHandshake paths, the
+// handshake reader's buffer-reuse contract must hold, and a reused Prober
+// must behave exactly like the one-shot Probe.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+)
+
+func TestClientHelloAppendToMatchesMarshal(t *testing.T) {
+	for _, ch := range []ClientHello{
+		{Version: VersionTLS12, CipherSuites: DefaultCipherSuites, ServerName: "append.example"},
+		{Version: VersionTLS10, CipherSuites: []uint16{1, 2, 3}},
+		{Version: VersionTLS12, CipherSuites: []uint16{5}, SessionID: []byte{9, 9}, CompressionMethods: []byte{0, 1}},
+	} {
+		want, err := ch.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Appending after a prefix must not disturb either part.
+		got, err := ch.AppendTo([]byte("prefix"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(got, []byte("prefix")) {
+			t.Fatal("AppendTo clobbered the destination prefix")
+		}
+		if !bytes.Equal(got[len("prefix"):], want) {
+			t.Fatalf("AppendTo diverges from Marshal for %+v", ch)
+		}
+	}
+}
+
+func TestServerHelloAppendToMatchesMarshal(t *testing.T) {
+	sh := ServerHello{Version: VersionTLS12, CipherSuite: TLSRSAWithAES128CBCSHA, SessionID: []byte{1, 2, 3}}
+	want, err := sh.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("ServerHello.AppendTo diverges from Marshal")
+	}
+}
+
+func TestCertificateMsgAppendToMatchesMarshal(t *testing.T) {
+	cm := CertificateMsg{ChainDER: [][]byte{{1, 2, 3}, {4, 5}}}
+	want, err := cm.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cm.AppendTo([]byte{0xff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append([]byte{0xff}, want...)) {
+		t.Fatal("CertificateMsg.AppendTo diverges from Marshal")
+	}
+}
+
+func TestAppendHandshakeMatchesWriteHandshake(t *testing.T) {
+	bodies := [][]byte{
+		nil,            // ServerHelloDone
+		{1, 2, 3},      // small
+		bytes.Repeat([]byte{0xab}, maxRecordPayload),     // exactly one full record with header spill
+		bytes.Repeat([]byte{0xcd}, 3*maxRecordPayload+7), // multi-fragment
+	}
+	for i, body := range bodies {
+		var want bytes.Buffer
+		if err := WriteHandshake(&want, VersionTLS12, TypeCertificate, body); err != nil {
+			t.Fatal(err)
+		}
+		got := AppendHandshake(nil, VersionTLS12, TypeCertificate, body)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("case %d: AppendHandshake diverges from WriteHandshake (%d vs %d bytes)", i, len(got), want.Len())
+		}
+	}
+}
+
+func TestAppendRecordMatchesWriteRecord(t *testing.T) {
+	for _, payload := range [][]byte{nil, {1}, bytes.Repeat([]byte{7}, maxRecordPayload+1)} {
+		var want bytes.Buffer
+		if err := WriteRecord(&want, RecordHandshake, VersionTLS10, payload); err != nil {
+			t.Fatal(err)
+		}
+		got := AppendRecord(nil, RecordHandshake, VersionTLS10, payload)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("AppendRecord diverges from WriteRecord for %d-byte payload", len(payload))
+		}
+	}
+}
+
+// TestHandshakeReaderBodyValidUntilNext pins the aliasing contract: the
+// returned body stays intact until the next Next call, then may be
+// recycled.
+func TestHandshakeReaderBodyValidUntilNext(t *testing.T) {
+	var stream bytes.Buffer
+	if err := WriteHandshake(&stream, VersionTLS12, TypeServerHello, []byte{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHandshake(&stream, VersionTLS12, TypeCertificate, []byte{2, 2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	hr := NewHandshakeReader(NewRecordReader(&stream))
+	_, body1, err := hr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body1, []byte{1, 1, 1}) {
+		t.Fatalf("first body = %v", body1)
+	}
+	snapshot := append([]byte(nil), body1...)
+	_, body2, err := hr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body2, []byte{2, 2, 2, 2}) {
+		t.Fatalf("second body = %v", body2)
+	}
+	_ = snapshot // body1 itself may now be recycled; only the copy is stable
+}
+
+// TestProberReuse runs many probes through one Prober against responders
+// serving different chains, checking each result is correct and that
+// chains captured earlier stay intact after the Prober's buffers are
+// reused (the ChainDER arena must not be recycled).
+func TestProberReuse(t *testing.T) {
+	chains := map[string][][]byte{
+		"a.example": testChain(t, "a.example"),
+		"b.example": testChain(t, "b.example"),
+	}
+	selector := func(name string) ([][]byte, error) {
+		c, ok := chains[name]
+		if !ok {
+			return nil, fmt.Errorf("no chain for %q", name)
+		}
+		return c, nil
+	}
+	p := NewProber()
+	var captured [][][]byte
+	hosts := []string{"a.example", "b.example", "a.example", "b.example", "a.example"}
+	for _, host := range hosts {
+		client, server := net.Pipe()
+		errc := make(chan error, 1)
+		go func() {
+			defer server.Close()
+			errc <- Respond(server, ResponderConfig{Chain: ChainSelector(selector)})
+		}()
+		res, err := p.Probe(client, ProbeOptions{ServerName: host})
+		client.Close()
+		if err != nil {
+			t.Fatalf("probe %s: %v", host, err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("responder for %s: %v", host, err)
+		}
+		captured = append(captured, res.ChainDER)
+	}
+	for i, host := range hosts {
+		want := chains[host]
+		got := captured[i]
+		if len(got) != len(want) {
+			t.Fatalf("probe %d (%s): chain length %d, want %d", i, host, len(got), len(want))
+		}
+		for j := range want {
+			if !bytes.Equal(got[j], want[j]) {
+				t.Fatalf("probe %d (%s): cert %d corrupted by prober reuse", i, host, j)
+			}
+		}
+	}
+}
+
+// replayServerConn is an in-memory conn that serves a canned server
+// flight to each probe and discards writes — the pure client-side cost of
+// a probe, no goroutines, no sockets.
+type replayServerConn struct {
+	net.Conn // panics if any unimplemented method is called
+	flight   []byte
+	pos      int
+}
+
+func (c *replayServerConn) Read(p []byte) (int, error) {
+	if c.pos >= len(c.flight) {
+		return 0, io.EOF
+	}
+	n := copy(p, c.flight[c.pos:])
+	c.pos += n
+	return n, nil
+}
+
+func (c *replayServerConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// recordFlight captures the exact server flight a responder sends for the
+// given chain by running Respond against a pipe once.
+func recordFlight(t testing.TB, chain [][]byte, serverName string) []byte {
+	t.Helper()
+	client, server := net.Pipe()
+	go func() {
+		defer server.Close()
+		Respond(server, ResponderConfig{Chain: StaticChain(chain)})
+	}()
+	var flight bytes.Buffer
+	tee := io.TeeReader(client, &flight)
+	hr := NewHandshakeReader(NewRecordReader(tee))
+	ch := ClientHello{Version: VersionTLS12, CipherSuites: DefaultCipherSuites, ServerName: serverName}
+	body, err := ch.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHandshake(client, VersionTLS10, TypeClientHello, body); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		msgType, _, err := hr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msgType == TypeServerHelloDone {
+			break
+		}
+	}
+	client.Close()
+	return flight.Bytes()
+}
+
+// zeroEntropy keeps the alloc measurement free of crypto/rand's internal
+// buffering.
+type zeroEntropy struct{}
+
+func (zeroEntropy) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0x42
+	}
+	return len(p), nil
+}
+
+// probeSteadyStateAllocs measures allocs/op of a warm Prober loop against
+// a canned server flight.
+func probeSteadyStateAllocs(t testing.TB) float64 {
+	chain := testChain(t, "alloc.example")
+	flight := recordFlight(t, chain, "alloc.example")
+	p := NewProber()
+	conn := &replayServerConn{flight: flight}
+	probe := func() {
+		conn.pos = 0
+		if _, err := p.Probe(conn, ProbeOptions{ServerName: "alloc.example", Entropy: zeroEntropy{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe() // warm buffers
+	return testing.AllocsPerRun(200, probe)
+}
+
+// maxProberSteadyStateAllocs pins the probe loop's allocation budget: the
+// chain arena and its [][]byte header — which must escape into the
+// report — and nothing else. A regression past this bound fails CI's
+// bench-smoke step.
+const maxProberSteadyStateAllocs = 2
+
+// BenchmarkProbeAllocs measures and asserts the steady-state allocation
+// count of a reused Prober; it is both a benchmark and the allocation
+// regression guard.
+func BenchmarkProbeAllocs(b *testing.B) {
+	if allocs := probeSteadyStateAllocs(b); allocs > maxProberSteadyStateAllocs {
+		b.Fatalf("steady-state probe loop costs %.1f allocs/op, budget %d", allocs, maxProberSteadyStateAllocs)
+	}
+	chain := testChain(b, "alloc.example")
+	flight := recordFlight(b, chain, "alloc.example")
+	p := NewProber()
+	conn := &replayServerConn{flight: flight}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn.pos = 0
+		if _, err := p.Probe(conn, ProbeOptions{ServerName: "alloc.example", Entropy: zeroEntropy{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRespondAllocs measures the pooled responder's per-connection
+// cost against an in-memory client that replays a canned ClientHello.
+func BenchmarkRespondAllocs(b *testing.B) {
+	chain := testChain(b, "respond.example")
+	ch := ClientHello{Version: VersionTLS12, CipherSuites: DefaultCipherSuites, ServerName: "respond.example"}
+	body, err := ch.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hello := AppendHandshake(nil, VersionTLS10, TypeClientHello, body)
+	conn := &replayServerConn{flight: hello}
+	cfg := ResponderConfig{Chain: StaticChain(chain), Entropy: zeroEntropy{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn.pos = 0
+		if err := Respond(conn, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tlswire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Handshake message types (RFC 5246 §7.4).
@@ -103,57 +104,70 @@ type ClientHello struct {
 // Marshal encodes the ClientHello as a handshake message body (without the
 // 4-byte handshake header).
 func (ch *ClientHello) Marshal() ([]byte, error) {
+	return ch.AppendTo(make([]byte, 0, 128))
+}
+
+// sigAlgsOffer is the signature_algorithms payload the probe offers: RSA
+// with SHA-256/SHA-1 — what a 2014 client stack advertised.
+var sigAlgsOffer = [4]byte{0x04, 0x01, 0x02, 0x01}
+
+// AppendTo appends the encoded ClientHello body to dst and returns the
+// extended slice — the zero-realloc variant of Marshal for callers that
+// reuse a scratch buffer across probes.
+func (ch *ClientHello) AppendTo(dst []byte) ([]byte, error) {
 	if len(ch.SessionID) > 32 {
 		return nil, fmt.Errorf("tlswire: session id of %d bytes", len(ch.SessionID))
 	}
 	if len(ch.CipherSuites) == 0 {
 		return nil, fmt.Errorf("tlswire: ClientHello needs at least one cipher suite")
 	}
-	var ext []byte
+	// Extension lengths are computed up front so the whole message appends
+	// into dst without intermediate buffers.
+	const sigAlgExtLen = 4 + 2 + len(sigAlgsOffer) // header + list length + payload
+	const renegExtLen = 4 + 1                      // header + one zero byte
+	extLen := sigAlgExtLen + renegExtLen
 	if ch.ServerName != "" {
-		name := []byte(ch.ServerName)
-		// server_name extension: list(u16) of {type(1)=host_name, name(u16)}.
-		entry := make([]byte, 0, 5+len(name))
-		entry = append(entry, 0) // host_name
-		entry = appendU16(entry, uint16(len(name)))
-		entry = append(entry, name...)
-		list := appendU16(nil, uint16(len(entry)))
-		list = append(list, entry...)
-		ext = appendU16(ext, extServerName)
-		ext = appendU16(ext, uint16(len(list)))
-		ext = append(ext, list...)
+		// header + list(u16) + {type(1), name(u16), name}
+		extLen += 4 + 2 + 3 + len(ch.ServerName)
 	}
-	// signature_algorithms: offer RSA with SHA-256/SHA-1 — what a 2014
-	// client stack advertised.
-	sigAlgs := []byte{0x04, 0x01, 0x02, 0x01} // sha256/rsa, sha1/rsa
-	ext = appendU16(ext, extSignatureAlgorithms)
-	ext = appendU16(ext, uint16(len(sigAlgs)+2))
-	ext = appendU16(ext, uint16(len(sigAlgs)))
-	ext = append(ext, sigAlgs...)
-	// empty renegotiation_info, as OpenSSL-era clients sent.
-	ext = appendU16(ext, extRenegotiationInfo)
-	ext = appendU16(ext, 1)
-	ext = append(ext, 0)
 
-	body := make([]byte, 0, 128)
-	body = appendU16(body, ch.Version)
-	body = append(body, ch.Random[:]...)
-	body = append(body, byte(len(ch.SessionID)))
-	body = append(body, ch.SessionID...)
-	body = appendU16(body, uint16(len(ch.CipherSuites)*2))
+	dst = appendU16(dst, ch.Version)
+	dst = append(dst, ch.Random[:]...)
+	dst = append(dst, byte(len(ch.SessionID)))
+	dst = append(dst, ch.SessionID...)
+	dst = appendU16(dst, uint16(len(ch.CipherSuites)*2))
 	for _, cs := range ch.CipherSuites {
-		body = appendU16(body, cs)
+		dst = appendU16(dst, cs)
 	}
 	comp := ch.CompressionMethods
 	if len(comp) == 0 {
-		comp = []byte{0}
+		comp = zeroCompression[:]
 	}
-	body = append(body, byte(len(comp)))
-	body = append(body, comp...)
-	body = appendU16(body, uint16(len(ext)))
-	body = append(body, ext...)
-	return body, nil
+	dst = append(dst, byte(len(comp)))
+	dst = append(dst, comp...)
+	dst = appendU16(dst, uint16(extLen))
+	if ch.ServerName != "" {
+		// server_name extension: list(u16) of {type(1)=host_name, name(u16)}.
+		dst = appendU16(dst, extServerName)
+		dst = appendU16(dst, uint16(2+3+len(ch.ServerName)))
+		dst = appendU16(dst, uint16(3+len(ch.ServerName)))
+		dst = append(dst, 0) // host_name
+		dst = appendU16(dst, uint16(len(ch.ServerName)))
+		dst = append(dst, ch.ServerName...)
+	}
+	dst = appendU16(dst, extSignatureAlgorithms)
+	dst = appendU16(dst, uint16(len(sigAlgsOffer)+2))
+	dst = appendU16(dst, uint16(len(sigAlgsOffer)))
+	dst = append(dst, sigAlgsOffer[:]...)
+	// empty renegotiation_info, as OpenSSL-era clients sent.
+	dst = appendU16(dst, extRenegotiationInfo)
+	dst = appendU16(dst, 1)
+	dst = append(dst, 0)
+	return dst, nil
 }
+
+// zeroCompression is the default compression_methods vector (null only).
+var zeroCompression = [1]byte{0}
 
 func appendU16(b []byte, v uint16) []byte {
 	return append(b, byte(v>>8), byte(v))
@@ -161,7 +175,8 @@ func appendU16(b []byte, v uint16) []byte {
 
 // ParseClientHello decodes a ClientHello handshake body into ch,
 // overwriting all fields. Extension bytes other than server_name are
-// skipped.
+// skipped. Every field is copied out of body (reusing ch's existing
+// capacity), so ch stays valid after the caller's buffer is recycled.
 func ParseClientHello(body []byte, ch *ClientHello) error {
 	b := newBuffer(body, "ClientHello")
 	var err error
@@ -173,9 +188,11 @@ func ParseClientHello(body []byte, ch *ClientHello) error {
 		return err
 	}
 	copy(ch.Random[:], random)
-	if ch.SessionID, err = b.vec8(); err != nil {
+	sessionID, err := b.vec8()
+	if err != nil {
 		return err
 	}
+	ch.SessionID = append(ch.SessionID[:0], sessionID...)
 	suites, err := b.vec16()
 	if err != nil {
 		return err
@@ -187,9 +204,11 @@ func ParseClientHello(body []byte, ch *ClientHello) error {
 	for i := 0; i < len(suites); i += 2 {
 		ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(suites[i:]))
 	}
-	if ch.CompressionMethods, err = b.vec8(); err != nil {
+	comp, err := b.vec8()
+	if err != nil {
 		return err
 	}
+	ch.CompressionMethods = append(ch.CompressionMethods[:0], comp...)
 	ch.ServerName = ""
 	if b.remaining() == 0 {
 		return nil // extensions are optional
@@ -245,21 +264,27 @@ type ServerHello struct {
 
 // Marshal encodes the ServerHello as a handshake message body.
 func (sh *ServerHello) Marshal() ([]byte, error) {
+	return sh.AppendTo(make([]byte, 0, 48))
+}
+
+// AppendTo appends the encoded ServerHello body to dst and returns the
+// extended slice.
+func (sh *ServerHello) AppendTo(dst []byte) ([]byte, error) {
 	if len(sh.SessionID) > 32 {
 		return nil, fmt.Errorf("tlswire: session id of %d bytes", len(sh.SessionID))
 	}
-	body := make([]byte, 0, 48)
-	body = appendU16(body, sh.Version)
-	body = append(body, sh.Random[:]...)
-	body = append(body, byte(len(sh.SessionID)))
-	body = append(body, sh.SessionID...)
-	body = appendU16(body, sh.CipherSuite)
-	body = append(body, sh.CompressionMethod)
-	return body, nil
+	dst = appendU16(dst, sh.Version)
+	dst = append(dst, sh.Random[:]...)
+	dst = append(dst, byte(len(sh.SessionID)))
+	dst = append(dst, sh.SessionID...)
+	dst = appendU16(dst, sh.CipherSuite)
+	dst = append(dst, sh.CompressionMethod)
+	return dst, nil
 }
 
 // ParseServerHello decodes a ServerHello handshake body into sh. Trailing
-// extensions are tolerated and skipped.
+// extensions are tolerated and skipped. All fields are copied out of body
+// (reusing sh's existing capacity).
 func ParseServerHello(body []byte, sh *ServerHello) error {
 	b := newBuffer(body, "ServerHello")
 	var err error
@@ -271,9 +296,11 @@ func ParseServerHello(body []byte, sh *ServerHello) error {
 		return err
 	}
 	copy(sh.Random[:], random)
-	if sh.SessionID, err = b.vec8(); err != nil {
+	sessionID, err := b.vec8()
+	if err != nil {
 		return err
 	}
+	sh.SessionID = append(sh.SessionID[:0], sessionID...)
 	if sh.CipherSuite, err = b.u16(); err != nil {
 		return err
 	}
@@ -291,23 +318,44 @@ type CertificateMsg struct {
 
 // Marshal encodes the Certificate handshake body.
 func (cm *CertificateMsg) Marshal() ([]byte, error) {
+	inner, err := cm.innerLen()
+	if err != nil {
+		return nil, err
+	}
+	return cm.appendTo(make([]byte, 0, 3+inner), inner), nil
+}
+
+// AppendTo appends the encoded Certificate body to dst and returns the
+// extended slice.
+func (cm *CertificateMsg) AppendTo(dst []byte) ([]byte, error) {
+	inner, err := cm.innerLen()
+	if err != nil {
+		return nil, err
+	}
+	return cm.appendTo(dst, inner), nil
+}
+
+func (cm *CertificateMsg) innerLen() (int, error) {
 	inner := 0
 	for _, der := range cm.ChainDER {
 		if len(der) >= 1<<24 {
-			return nil, fmt.Errorf("tlswire: certificate of %d bytes", len(der))
+			return 0, fmt.Errorf("tlswire: certificate of %d bytes", len(der))
 		}
 		inner += 3 + len(der)
 	}
 	if inner >= 1<<24 {
-		return nil, fmt.Errorf("tlswire: certificate chain of %d bytes", inner)
+		return 0, fmt.Errorf("tlswire: certificate chain of %d bytes", inner)
 	}
-	body := make([]byte, 0, 3+inner)
-	body = appendU24(body, inner)
+	return inner, nil
+}
+
+func (cm *CertificateMsg) appendTo(dst []byte, inner int) []byte {
+	dst = appendU24(dst, inner)
 	for _, der := range cm.ChainDER {
-		body = appendU24(body, len(der))
-		body = append(body, der...)
+		dst = appendU24(dst, len(der))
+		dst = append(dst, der...)
 	}
-	return body, nil
+	return dst
 }
 
 func appendU24(b []byte, v int) []byte {
@@ -315,46 +363,126 @@ func appendU24(b []byte, v int) []byte {
 }
 
 // ParseCertificateMsg decodes a Certificate handshake body. The chain
-// entries are copies and remain valid indefinitely.
+// entries are copies and remain valid indefinitely: the whole certificate
+// list is copied into one arena allocation that every entry subslices, so
+// an N-cert chain costs two allocations, not N+1.
 func ParseCertificateMsg(body []byte, cm *CertificateMsg) error {
-	b := newBuffer(body, "Certificate")
-	total, err := b.u24()
+	chain, err := appendCertificateChain(cm.ChainDER[:0], body)
 	if err != nil {
 		return err
 	}
-	list, err := b.take(total)
-	if err != nil {
-		return err
-	}
-	lb := newBuffer(list, "Certificate list")
-	cm.ChainDER = cm.ChainDER[:0]
-	for lb.remaining() > 0 {
-		n, err := lb.u24()
-		if err != nil {
-			return err
-		}
-		der, err := lb.take(n)
-		if err != nil {
-			return err
-		}
-		cp := make([]byte, len(der))
-		copy(cp, der)
-		cm.ChainDER = append(cm.ChainDER, cp)
-	}
-	if len(cm.ChainDER) == 0 {
-		return fmt.Errorf("tlswire: empty certificate chain")
-	}
+	cm.ChainDER = chain
 	return nil
 }
 
+// appendCertificateChain decodes a Certificate body, appending the chain
+// entries to dst. It is the allocation floor of the capture path: the
+// chain must escape into the report, so it costs exactly the arena and
+// (when dst lacks capacity) the slice header.
+func appendCertificateChain(dst [][]byte, body []byte) ([][]byte, error) {
+	b := newBuffer(body, "Certificate")
+	total, err := b.u24()
+	if err != nil {
+		return nil, err
+	}
+	list, err := b.take(total)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-count the entries so the chain header is allocated exactly once
+	// at the right capacity (an append-grown [][]byte would cost one
+	// allocation per doubling).
+	count := 0
+	for cb := newBuffer(list, "Certificate list"); cb.remaining() > 0; count++ {
+		n, err := cb.u24()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cb.take(n); err != nil {
+			return nil, err
+		}
+	}
+	if free := cap(dst) - len(dst); free < count {
+		grown := make([][]byte, len(dst), len(dst)+count)
+		copy(grown, dst)
+		dst = grown
+	}
+	// One arena copy up front; the views handed out below are immutable
+	// and own their lifetime independently of the caller's body buffer.
+	arena := make([]byte, len(list))
+	copy(arena, list)
+	lb := newBuffer(arena, "Certificate list")
+	n0 := len(dst)
+	for lb.remaining() > 0 {
+		n, err := lb.u24()
+		if err != nil {
+			return nil, err
+		}
+		der, err := lb.take(n)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, der)
+	}
+	if len(dst) == n0 {
+		return nil, fmt.Errorf("tlswire: empty certificate chain")
+	}
+	return dst, nil
+}
+
+// AppendHandshake appends body framed as a handshake message of the given
+// type, fragmented into handshake records, to dst and returns the
+// extended slice. Flights built this way reach the socket in one write.
+func AppendHandshake(dst []byte, version uint16, msgType uint8, body []byte) []byte {
+	// The logical record payload is the 4-byte handshake header followed
+	// by body; fragment that stream over records without concatenating it.
+	var hdr [4]byte
+	hdr[0] = msgType
+	hdr[1], hdr[2], hdr[3] = byte(len(body)>>16), byte(len(body)>>8), byte(len(body))
+	head := hdr[:]
+	for first := true; first || len(head)+len(body) > 0; first = false {
+		n := len(head) + len(body)
+		if n > maxRecordPayload {
+			n = maxRecordPayload
+		}
+		dst = append(dst, RecordHandshake, byte(version>>8), byte(version), byte(n>>8), byte(n))
+		take := copyLimited(&head, n)
+		dst = append(dst, take...)
+		take = copyLimited(&body, n-len(take))
+		dst = append(dst, take...)
+	}
+	return dst
+}
+
+// copyLimited slices off up to n bytes from *src, advancing it.
+func copyLimited(src *[]byte, n int) []byte {
+	if n > len(*src) {
+		n = len(*src)
+	}
+	out := (*src)[:n]
+	*src = (*src)[n:]
+	return out
+}
+
+// handshakeScratch pools flight-assembly buffers for WriteHandshake so
+// one-shot writers stay allocation-free; flight builders (Prober,
+// Respond) hold their own scratch instead.
+var handshakeScratch = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
 // WriteHandshake frames body as a handshake message of the given type and
-// writes it as records.
+// writes it as records, in a single Write call.
 func WriteHandshake(w writerTo, version uint16, msgType uint8, body []byte) error {
-	msg := make([]byte, 0, 4+len(body))
-	msg = append(msg, msgType)
-	msg = appendU24(msg, len(body))
-	msg = append(msg, body...)
-	return WriteRecord(w, RecordHandshake, version, msg)
+	bp := handshakeScratch.Get().(*[]byte)
+	buf := AppendHandshake((*bp)[:0], version, msgType, body)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	handshakeScratch.Put(bp)
+	if err != nil {
+		return fmt.Errorf("tlswire: write handshake record: %w", err)
+	}
+	return nil
 }
 
 // writerTo is the io.Writer constraint; aliased for doc clarity.

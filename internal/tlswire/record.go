@@ -71,6 +71,10 @@ func NewRecordReader(r io.Reader) *RecordReader {
 	return &RecordReader{r: r, buf: make([]byte, 0, 4096)}
 }
 
+// Reset rebinds the reader to a new stream, keeping its buffer — the
+// zero-realloc path for per-connection reader reuse.
+func (rr *RecordReader) Reset(r io.Reader) { rr.r = r }
+
 // ReadRecord reads the next record into rec. The record payload aliases
 // the reader's buffer.
 func (rr *RecordReader) ReadRecord(rec *Record) error {
@@ -123,6 +127,23 @@ func WriteRecord(w io.Writer, typ uint8, version uint16, payload []byte) error {
 	return nil
 }
 
+// AppendRecord appends payload framed as one or more records of the given
+// type to dst and returns the extended slice — the append-into-scratch
+// twin of WriteRecord, used to build whole flights in one buffer and hand
+// them to the socket in a single write.
+func AppendRecord(dst []byte, typ uint8, version uint16, payload []byte) []byte {
+	for first := true; first || len(payload) > 0; first = false {
+		n := len(payload)
+		if n > maxRecordPayload {
+			n = maxRecordPayload
+		}
+		dst = append(dst, typ, byte(version>>8), byte(version), byte(n>>8), byte(n))
+		dst = append(dst, payload[:n]...)
+		payload = payload[n:]
+	}
+	return dst
+}
+
 // Alert severities and the descriptions the probe path uses.
 const (
 	AlertLevelWarning uint8 = 1
@@ -154,12 +175,25 @@ func WriteAlert(w io.Writer, version uint16, a Alert) error {
 	return WriteRecord(w, RecordAlert, version, []byte{a.Level, a.Description})
 }
 
+// AppendAlert appends one framed alert record to dst — the zero-realloc
+// variant of WriteAlert for callers holding scratch.
+func AppendAlert(dst []byte, version uint16, a Alert) []byte {
+	return append(dst, RecordAlert, byte(version>>8), byte(version), 0, 2, a.Level, a.Description)
+}
+
 // HandshakeReader reassembles handshake messages that may span record
-// boundaries (RFC 5246 §6.2.1 permits arbitrary fragmentation).
+// boundaries (RFC 5246 §6.2.1 permits arbitrary fragmentation). It owns
+// one reassembly buffer that is compacted and reused across messages and
+// (via Reset) across connections, so a steady-state handshake stream
+// performs zero allocations.
 type HandshakeReader struct {
-	rr      *RecordReader
-	rec     Record
-	pending []byte
+	rr  *RecordReader
+	rec Record
+	// buf holds record payload bytes not yet returned; off marks the
+	// prefix consumed by previous Next calls, reclaimed by compaction at
+	// the start of the next call.
+	buf []byte
+	off int
 	// LastAlert records the most recent alert seen instead of a handshake
 	// message; Next returns ErrAlertReceived when one arrives.
 	LastAlert Alert
@@ -174,28 +208,46 @@ func NewHandshakeReader(rr *RecordReader) *HandshakeReader {
 	return &HandshakeReader{rr: rr}
 }
 
+// Reset rebinds the reader to a new record reader, keeping its reassembly
+// buffer and discarding any pending bytes and alert state.
+func (hr *HandshakeReader) Reset(rr *RecordReader) {
+	hr.rr = rr
+	hr.buf = hr.buf[:0]
+	hr.off = 0
+	hr.LastAlert = Alert{}
+}
+
 // Next returns the next complete handshake message: its type byte and body
-// (excluding the 4-byte message header). The body is a copy and remains
-// valid across calls.
+// (excluding the 4-byte message header). The body aliases the reader's
+// reassembly buffer and is valid only until the next Next call; the
+// Parse* functions copy every field that outlives the message, so parsing
+// the body before the next call needs no defensive copy.
 func (hr *HandshakeReader) Next() (msgType uint8, body []byte, err error) {
-	for len(hr.pending) < 4 {
+	// Reclaim the prefix consumed by the previous message so the buffer's
+	// capacity is reused instead of regrown — the previously returned body
+	// is dead by contract.
+	if hr.off > 0 {
+		n := copy(hr.buf, hr.buf[hr.off:])
+		hr.buf = hr.buf[:n]
+		hr.off = 0
+	}
+	for len(hr.buf) < 4 {
 		if err := hr.fill(); err != nil {
 			return 0, nil, err
 		}
 	}
-	msgLen := int(hr.pending[1])<<16 | int(hr.pending[2])<<8 | int(hr.pending[3])
+	msgLen := int(hr.buf[1])<<16 | int(hr.buf[2])<<8 | int(hr.buf[3])
 	if msgLen > 1<<20 {
 		return 0, nil, fmt.Errorf("tlswire: handshake message of %d bytes exceeds 1MiB cap", msgLen)
 	}
-	for len(hr.pending) < 4+msgLen {
+	for len(hr.buf) < 4+msgLen {
 		if err := hr.fill(); err != nil {
 			return 0, nil, err
 		}
 	}
-	msgType = hr.pending[0]
-	body = make([]byte, msgLen)
-	copy(body, hr.pending[4:4+msgLen])
-	hr.pending = hr.pending[4+msgLen:]
+	msgType = hr.buf[0]
+	body = hr.buf[4 : 4+msgLen]
+	hr.off = 4 + msgLen
 	return msgType, body, nil
 }
 
@@ -205,7 +257,7 @@ func (hr *HandshakeReader) fill() error {
 	}
 	switch hr.rec.Type {
 	case RecordHandshake:
-		hr.pending = append(hr.pending, hr.rec.Payload...)
+		hr.buf = append(hr.buf, hr.rec.Payload...)
 		return nil
 	case RecordAlert:
 		a, err := ParseAlert(hr.rec.Payload)

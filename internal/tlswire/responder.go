@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -39,15 +40,39 @@ type ResponderConfig struct {
 	OnClientHello func(*ClientHello)
 }
 
+// responder holds the reusable per-connection state of the serving path:
+// read buffers, the parsed ClientHello, and the flight-assembly scratch.
+// Pooled so a loaded responder (the authoritative origin or a forging
+// proxy serving thousands of connections) does not re-grow buffers per
+// connection.
+type responder struct {
+	rr      RecordReader
+	hr      HandshakeReader
+	ch      ClientHello
+	sh      ServerHello
+	scratch []byte
+}
+
+var responderPool = sync.Pool{
+	New: func() any { return &responder{scratch: make([]byte, 0, 4096)} },
+}
+
 // Respond serves the plaintext server flight of a TLS handshake on conn:
-// read ClientHello, write ServerHello + Certificate + ServerHelloDone, then
-// read until the peer aborts or the handshake would need to continue.
+// read ClientHello, write ServerHello + Certificate + ServerHelloDone —
+// assembled in one buffer and written in a single call — then read until
+// the peer aborts or the handshake would need to continue.
 //
 // It implements exactly as much server as the measurement needs: the
 // authoritative host the probe contacts, and the client-facing half of
 // every forging proxy. It returns once the peer closes, aborts, or sends
 // its next flight (which it cannot usefully do without a key exchange).
 func Respond(conn net.Conn, cfg ResponderConfig) error {
+	rs := responderPool.Get().(*responder)
+	defer responderPool.Put(rs)
+	return rs.respond(conn, cfg)
+}
+
+func (rs *responder) respond(conn net.Conn, cfg ResponderConfig) error {
 	if cfg.Chain == nil {
 		return errors.New("tlswire: ResponderConfig.Chain is required")
 	}
@@ -61,7 +86,9 @@ func Respond(conn net.Conn, cfg ResponderConfig) error {
 		}
 	}
 
-	hr := NewHandshakeReader(NewRecordReader(conn))
+	rs.rr.Reset(conn)
+	rs.hr.Reset(&rs.rr)
+	hr := &rs.hr
 	msgType, body, err := hr.Next()
 	if err == ErrAlertReceived {
 		return fmt.Errorf("tlswire: alert before ClientHello (desc=%d)", hr.LastAlert.Description)
@@ -73,13 +100,13 @@ func Respond(conn net.Conn, cfg ResponderConfig) error {
 		_ = WriteAlert(conn, VersionTLS12, Alert{AlertLevelFatal, AlertUnexpectedMsg})
 		return fmt.Errorf("tlswire: expected ClientHello, got message type %d", msgType)
 	}
-	var ch ClientHello
-	if err := ParseClientHello(body, &ch); err != nil {
+	ch := &rs.ch
+	if err := ParseClientHello(body, ch); err != nil {
 		_ = WriteAlert(conn, VersionTLS12, Alert{AlertLevelFatal, AlertHandshakeFailure})
 		return err
 	}
 	if cfg.OnClientHello != nil {
-		cfg.OnClientHello(&ch)
+		cfg.OnClientHello(ch)
 	}
 
 	version := cfg.Version
@@ -109,27 +136,31 @@ func Respond(conn net.Conn, cfg ResponderConfig) error {
 		return fmt.Errorf("tlswire: no chain for %q: %w", ch.ServerName, err)
 	}
 
-	sh := ServerHello{Version: version, CipherSuite: suite}
-	if _, err := io.ReadFull(entropy, sh.Random[:]); err != nil {
+	rs.sh = ServerHello{Version: version, CipherSuite: suite, SessionID: rs.sh.SessionID[:0]}
+	if _, err := io.ReadFull(entropy, rs.sh.Random[:]); err != nil {
 		return fmt.Errorf("tlswire: server random: %w", err)
 	}
-	shBody, err := sh.Marshal()
+	// Assemble the whole server flight — ServerHello + Certificate +
+	// ServerHelloDone — in one scratch buffer: both message bodies go at
+	// the front, the framed records follow, and a single Write delivers
+	// the flight. The scratch layout is [shBody][cmBody][flight...]; only
+	// the flight region hits the wire.
+	scratch, err := rs.sh.AppendTo(rs.scratch[:0])
 	if err != nil {
 		return err
 	}
-	if err := WriteHandshake(conn, version, TypeServerHello, shBody); err != nil {
-		return fmt.Errorf("tlswire: send ServerHello: %w", err)
-	}
+	shEnd := len(scratch)
 	cm := CertificateMsg{ChainDER: chain}
-	cmBody, err := cm.Marshal()
-	if err != nil {
+	if scratch, err = cm.AppendTo(scratch); err != nil {
 		return err
 	}
-	if err := WriteHandshake(conn, version, TypeCertificate, cmBody); err != nil {
-		return fmt.Errorf("tlswire: send Certificate: %w", err)
-	}
-	if err := WriteHandshake(conn, version, TypeServerHelloDone, nil); err != nil {
-		return fmt.Errorf("tlswire: send ServerHelloDone: %w", err)
+	cmEnd := len(scratch)
+	scratch = AppendHandshake(scratch, version, TypeServerHello, scratch[:shEnd])
+	scratch = AppendHandshake(scratch, version, TypeCertificate, scratch[shEnd:cmEnd])
+	scratch = AppendHandshake(scratch, version, TypeServerHelloDone, nil)
+	rs.scratch = scratch[:0]
+	if _, err := conn.Write(scratch[cmEnd:]); err != nil {
+		return fmt.Errorf("tlswire: send server flight: %w", err)
 	}
 
 	// Wait for the client's reaction. The measurement tool aborts here

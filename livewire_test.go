@@ -173,6 +173,10 @@ func TestLiveWireSmoke(t *testing.T) {
 	pipeline := ingest.NewPipeline(ingest.Config{Shards: 4, Block: true})
 	defer pipeline.Close()
 	col := world.newCollector(pipeline, "live-wire")
+	// The live side runs with the observation memo, the netsim control
+	// below without — the byte-identical tables at the end prove the
+	// cache lossless over the wire, not just in-process.
+	col.Cache = core.NewObservationCache(0, 0)
 	mux := http.NewServeMux()
 	mux.Handle("/ingest/batch", ingest.BatchHandler(col))
 	reportd := httptest.NewServer(mux)
@@ -227,6 +231,19 @@ func TestLiveWireSmoke(t *testing.T) {
 		if cs.Forges > uint64(len(hosts)) {
 			t.Errorf("engine %d (%s): %d forges for %d hosts — cache not single-flight",
 				i, profiles[i].ProductName, cs.Forges, len(hosts))
+		}
+	}
+
+	// Observation-memo accounting: the collector derived once per
+	// distinct (host, chain) pair — at most engines × hosts forgeries
+	// plus the pass-through chains — and served everything else as hits.
+	if cs := col.Cache.Stats(); true {
+		maxDistinct := uint64(len(engines)*len(hosts) + len(hosts))
+		if cs.Derives == 0 || cs.Derives > maxDistinct {
+			t.Errorf("observation cache derived %d times; want 1..%d (distinct chains only)", cs.Derives, maxDistinct)
+		}
+		if cs.Hits+cs.Misses != uint64(len(jobs)) {
+			t.Errorf("observation cache saw %d lookups, want %d (one per accepted report)", cs.Hits+cs.Misses, len(jobs))
 		}
 	}
 
@@ -368,6 +385,8 @@ func BenchmarkLiveWireEndToEnd(b *testing.B) {
 	pipeline := ingest.NewPipeline(ingest.Config{Shards: 4, Block: true})
 	defer pipeline.Close()
 	col := world.newCollector(pipeline, "bench")
+	// The production collector configuration: observation memo on.
+	col.Cache = core.NewObservationCache(0, 0)
 	mux := http.NewServeMux()
 	mux.Handle("/ingest/batch", ingest.BatchHandler(col))
 	reportd := httptest.NewServer(mux)
@@ -382,11 +401,20 @@ func BenchmarkLiveWireEndToEnd(b *testing.B) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				// Per-worker Prober, as cmd/tlsproxy-probe -fleet runs.
+				prober := tlswire.NewProber()
+				dialer := net.Dialer{Timeout: 10 * time.Second}
 				for j := w; j < probesPerOp; j += workers {
 					host := hosts[j%len(hosts)]
-					res, err := tlswire.ProbeAddr(proxyLn.Addr().String(), tlswire.ProbeOptions{
+					conn, err := dialer.Dial("tcp", proxyLn.Addr().String())
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					res, err := prober.Probe(conn, tlswire.ProbeOptions{
 						ServerName: host, Timeout: 10 * time.Second,
 					})
+					conn.Close()
 					if err != nil {
 						b.Error(err)
 						return
