@@ -34,6 +34,7 @@ import (
 
 	"tlsfof/internal/certgen"
 	"tlsfof/internal/classify"
+	"tlsfof/internal/faultnet"
 	"tlsfof/internal/proxyengine"
 )
 
@@ -42,6 +43,7 @@ import (
 type server struct {
 	ic          *proxyengine.Interceptor
 	engine      *proxyengine.Engine
+	faults      *faultnet.Plan // nil unless -fault
 	connTimeout time.Duration
 	slots       chan struct{} // accept pool: one token per live connection
 	quit        chan struct{} // closed on shutdown signal
@@ -117,6 +119,9 @@ type metrics struct {
 	UptimeSeconds float64                `json:"uptime_seconds"`
 	Conns         connMetrics            `json:"conns"`
 	ForgeCache    proxyengine.ForgeStats `json:"forge_cache"`
+	// Faults reports per-scenario fault-injection accounting when the
+	// proxy runs with -fault; absent otherwise.
+	Faults map[string]faultnet.ScenarioStats `json:"faults,omitempty"`
 }
 
 type connMetrics struct {
@@ -128,7 +133,12 @@ type connMetrics struct {
 }
 
 func (s *server) metrics() metrics {
+	var faults map[string]faultnet.ScenarioStats
+	if s.faults != nil {
+		faults = s.faults.Stats()
+	}
 	return metrics{
+		Faults:        faults,
 		Product:       s.engine.Profile.ProductName,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Conns: connMetrics{
@@ -157,6 +167,7 @@ func main() {
 		statsAddr    = flag.String("stats", "", "serve GET /metrics on this address (disabled when empty)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (disabled when empty)")
 		caOut        = flag.String("ca-out", "", "write the proxy CA certificate PEM to this path")
+		faultSpec    = flag.String("fault", "", "inject deterministic faults on every accepted connection (e.g. \"fragment\", \"all,seed=42\"; see internal/faultnet.ParseSpec)")
 		prewarm      = flag.Bool("prewarm", true, "prewarm the key pool and refill it asynchronously")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on shutdown")
 		verbose      = flag.Bool("v", false, "log per-connection errors")
@@ -239,10 +250,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mitmd: %v\n", err)
 		os.Exit(1)
 	}
+	var faults *faultnet.Plan
+	if *faultSpec != "" {
+		faults, err = faultnet.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mitmd: %v\n", err)
+			os.Exit(1)
+		}
+		ln = faults.Listener(ln)
+		fmt.Printf("mitmd: fault injection on (seed %d, %d scenarios)\n", faults.Seed, len(faults.Scenarios))
+	}
 
 	srv := &server{
 		ic:          ic,
 		engine:      engine,
+		faults:      faults,
 		connTimeout: *connTimeout,
 		slots:       make(chan struct{}, *maxConns),
 		quit:        make(chan struct{}),
@@ -286,6 +308,10 @@ func main() {
 	fmt.Printf("mitmd: served %d conns (%d ok, %d errored); forge cache %d/%d hosts, %d hits, %d forges\n",
 		m.Conns.Accepted, m.Conns.Handled, m.Conns.Errored,
 		m.ForgeCache.Size, m.ForgeCache.Cap, m.ForgeCache.Hits, m.ForgeCache.Forges)
+	if m.Faults != nil {
+		fj, _ := json.Marshal(m.Faults)
+		fmt.Printf("mitmd: fault stats: %s\n", fj)
+	}
 	if !clean {
 		fmt.Fprintf(os.Stderr, "mitmd: drain timed out with %d connections in flight\n", srv.active.Load())
 		os.Exit(1)

@@ -21,9 +21,11 @@ package main
 
 import (
 	"crypto/x509"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"tlsfof"
+	"tlsfof/internal/faultnet"
 	"tlsfof/internal/ingest"
 	"tlsfof/internal/tlswire"
 )
@@ -49,6 +52,11 @@ func main() {
 		hosts    = flag.String("hosts", "", "fleet: comma-separated SNI names to rotate over (default -sni)")
 		report   = flag.String("report", "", "fleet: reportd base URL or /ingest/batch endpoint")
 		batch    = flag.Int("batch", ingest.DefaultClientBatch, "fleet: reports per upload batch")
+
+		faultSpec  = flag.String("fault", "", "fleet: inject deterministic faults on every probe connection (e.g. \"all,seed=7\"; see internal/faultnet.ParseSpec)")
+		faultIn    = flag.String("fault-ingest", "", "fleet: inject faults on the report-upload connections")
+		inRetries  = flag.Int("ingest-retries", 2, "fleet: retries per failed upload flush")
+		faultStats = flag.Bool("fault-stats", false, "fleet: print fault-injection stats at exit")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -56,25 +64,60 @@ func main() {
 		os.Exit(1)
 	}
 
+	var probeFaults, ingestFaults *faultnet.Plan
+	var err error
+	if *faultSpec != "" {
+		if probeFaults, err = faultnet.ParseSpec(*faultSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsproxy-probe: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *faultIn != "" {
+		if ingestFaults, err = faultnet.ParseSpec(*faultIn); err != nil {
+			fmt.Fprintf(os.Stderr, "tlsproxy-probe: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *fleet > 0 {
-		os.Exit(runFleet(*addr, *sni, *hosts, *report, *fleet, *count, *duration, *timeout, *batch))
+		cfg := fleetConfig{
+			addr: *addr, sni: *sni, hosts: *hosts, report: *report,
+			workers: *fleet, count: *count, duration: *duration, timeout: *timeout,
+			batch: *batch, retries: *inRetries,
+			probeFaults: probeFaults, ingestFaults: ingestFaults, faultStats: *faultStats,
+		}
+		os.Exit(runFleet(cfg))
+	}
+	if probeFaults != nil || ingestFaults != nil {
+		fmt.Fprintln(os.Stderr, "tlsproxy-probe: -fault/-fault-ingest need -fleet")
+		os.Exit(1)
 	}
 	runSingle(*addr, *sni, *refPath, *timeout, *pemOut)
 }
 
-// runFleet drives n workers of repeated probes through the proxy path and
-// streams captures to reportd. Returns the process exit code.
-func runFleet(addr, sni, hostList, reportURL string, n, count int, duration, timeout time.Duration, batchSize int) int {
+// fleetConfig carries the fleet-mode knobs.
+type fleetConfig struct {
+	addr, sni, hosts, report  string
+	workers, count            int
+	duration, timeout         time.Duration
+	batch, retries            int
+	probeFaults, ingestFaults *faultnet.Plan
+	faultStats                bool
+}
+
+// runFleet drives cfg.workers workers of repeated probes through the
+// proxy path and streams captures to reportd. Returns the process exit
+// code.
+func runFleet(cfg fleetConfig) int {
 	var sniNames []string
-	for _, h := range strings.Split(hostList, ",") {
+	for _, h := range strings.Split(cfg.hosts, ",") {
 		if h = strings.TrimSpace(h); h != "" {
 			sniNames = append(sniNames, h)
 		}
 	}
 	if len(sniNames) == 0 {
-		name := sni
+		name := cfg.sni
 		if name == "" {
-			if h, _, err := net.SplitHostPort(addr); err == nil && net.ParseIP(h) == nil {
+			if h, _, err := net.SplitHostPort(cfg.addr); err == nil && net.ParseIP(h) == nil {
 				name = h
 			}
 		}
@@ -86,23 +129,27 @@ func runFleet(addr, sni, hostList, reportURL string, n, count int, duration, tim
 	}
 
 	var client *ingest.Client
-	if reportURL != "" {
-		url := strings.TrimSuffix(reportURL, "/")
+	if cfg.report != "" {
+		url := strings.TrimSuffix(cfg.report, "/")
 		if !strings.HasSuffix(url, "/ingest/batch") {
 			url += "/ingest/batch"
 		}
 		client = ingest.NewClient(url)
-		client.BatchSize = batchSize
+		client.BatchSize = cfg.batch
+		client.Retries = cfg.retries
+		if cfg.ingestFaults != nil {
+			client.HTTPClient = &http.Client{Transport: cfg.ingestFaults.Transport()}
+		}
 	}
 
 	var (
 		probes   atomic.Uint64
 		failures atomic.Uint64
-		deadline = time.Now().Add(duration)
+		deadline = time.Now().Add(cfg.duration)
 		wg       sync.WaitGroup
 	)
 	start := time.Now()
-	for w := 0; w < n; w++ {
+	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -112,15 +159,18 @@ func runFleet(addr, sni, hostList, reportURL string, n, count int, duration, tim
 			// chain arena outlives the Prober, so handing it to the
 			// batching upload client is safe.
 			prober := tlswire.NewProber()
-			dialer := net.Dialer{Timeout: timeout}
-			for i := 0; count > 0 && i < count || count == 0 && time.Now().Before(deadline); i++ {
+			dialer := net.Dialer{Timeout: cfg.timeout}
+			for i := 0; cfg.count > 0 && i < cfg.count || cfg.count == 0 && time.Now().Before(deadline); i++ {
 				host := sniNames[(w+i)%len(sniNames)]
-				conn, err := dialer.Dial("tcp", addr)
+				conn, err := dialer.Dial("tcp", cfg.addr)
 				if err != nil {
 					failures.Add(1)
 					continue
 				}
-				res, err := prober.Probe(conn, tlswire.ProbeOptions{ServerName: host, Timeout: timeout})
+				if cfg.probeFaults != nil {
+					conn = cfg.probeFaults.Wrap(conn)
+				}
+				res, err := prober.Probe(conn, tlswire.ProbeOptions{ServerName: host, Timeout: cfg.timeout})
 				conn.Close()
 				if err != nil {
 					failures.Add(1)
@@ -145,16 +195,27 @@ func runFleet(addr, sni, hostList, reportURL string, n, count int, duration, tim
 	}
 	ok, fail := probes.Load(), failures.Load()
 	fmt.Printf("fleet: %d workers, %d probes ok, %d failed in %v (%.0f probes/sec)\n",
-		n, ok, fail, elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds())
+		cfg.workers, ok, fail, elapsed.Round(time.Millisecond), float64(ok)/elapsed.Seconds())
+	if cfg.faultStats {
+		for label, plan := range map[string]*faultnet.Plan{"probe": cfg.probeFaults, "ingest": cfg.ingestFaults} {
+			if plan == nil {
+				continue
+			}
+			js, _ := json.Marshal(plan.Stats())
+			fmt.Printf("fleet: %s fault stats (seed %d): %s\n", label, plan.Seed, js)
+		}
+	}
 	if client != nil {
 		st := client.Stats()
-		fmt.Printf("fleet: uploaded %d reports in %d posts (%d accepted, %d rejected, %d post errors)\n",
-			st.Reported, st.Posts, st.Accepted, st.Rejected, st.PostErrors)
+		fmt.Printf("fleet: uploaded %d reports in %d posts (%d accepted, %d rejected, %d retries, %d post errors)\n",
+			st.Reported, st.Posts, st.Accepted, st.Rejected, st.Retries, st.PostErrors)
 		if st.PostErrors > 0 || st.Rejected > 0 {
 			return 1
 		}
 	}
-	if ok == 0 && fail > 0 {
+	// Under probe-side fault injection a failing probe is the expected
+	// outcome, not a fleet failure.
+	if ok == 0 && fail > 0 && cfg.probeFaults == nil {
 		return 1
 	}
 	return 0

@@ -124,4 +124,3 @@ func BenchmarkObserveCachedParallel(b *testing.B) {
 		}
 	})
 }
-

@@ -1,0 +1,377 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Scenario is one fault recipe. The zero value injects nothing (the
+// "clean" control cell of the matrix). All byte offsets count bytes of
+// the real stream, excluding injected prefixes.
+type Scenario struct {
+	Name string
+
+	// Write-side faults: mangle what the wrapped endpoint sends.
+
+	// WriteFragment splits every Write into segments of at most this many
+	// bytes, each delivered to the underlying conn as its own Write — on
+	// a pipe or a no-delay socket this forces the peer to reassemble TLS
+	// records from arbitrary read boundaries.
+	WriteFragment int
+	// WriteCoalesce buffers writes and flushes them in one underlying
+	// Write at the next Read (a sender cannot await a reply without
+	// flushing) or at Close — the Nagle-style batching that merges whole
+	// flights into one segment.
+	WriteCoalesce bool
+	// WriteDup sends every segment twice.
+	WriteDup bool
+	// WriteSwap swaps each pair of adjacent segments within one Write
+	// (meaningful only with WriteFragment), reordering the byte stream.
+	WriteSwap bool
+	// WriteStallAt stalls the connection for StallFor once this many
+	// bytes have been written (slowloris: open, send a little, go quiet).
+	// The stall respects deadlines and Close.
+	WriteStallAt int
+	StallFor     time.Duration
+
+	// Read-side faults: mangle what the wrapped endpoint receives.
+
+	// ReadFragment caps every Read at this many bytes.
+	ReadFragment int
+	// ReadDelay sleeps before every Read (respecting deadlines/Close).
+	ReadDelay time.Duration
+	// TruncateReadAt ends the stream with a clean EOF after this many
+	// bytes have been read, and closes the underlying conn. 0 = never.
+	TruncateReadAt int
+	// ResetReadAt fails the stream with ErrInjectedReset after this many
+	// bytes have been read, and closes the underlying conn. 0 = never.
+	ResetReadAt int
+	// CorruptReadEvery XORs one byte with the conn's seeded mask every
+	// this many bytes read. 0 = never.
+	CorruptReadEvery int
+	// GarbagePrefix delivers this many seeded garbage bytes before the
+	// first real byte.
+	GarbagePrefix int
+	// AlertPrefix delivers a fatal TLS handshake_failure alert record
+	// before the first real byte — the spurious alert a confused
+	// middlebox emits.
+	AlertPrefix bool
+}
+
+// ErrInjectedReset is the error surfaced when a scenario resets the
+// connection mid-flight. It stands in for the peer's RST.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// stallTimeoutError is returned when a connection deadline expires while
+// a fault-injected stall or delay is pending. It satisfies net.Error
+// with Timeout() == true, exactly like an OS-level read timeout.
+type stallTimeoutError struct{}
+
+func (stallTimeoutError) Error() string   { return "faultnet: i/o timeout during injected stall" }
+func (stallTimeoutError) Timeout() bool   { return true }
+func (stallTimeoutError) Temporary() bool { return true }
+
+// spuriousAlert is the wire image of a fatal handshake_failure alert
+// record (TLS 1.0 record version, as middleboxes of the era sent).
+var spuriousAlert = [7]byte{21, 3, 1, 0, 2, 2, 40}
+
+// Conn wraps a net.Conn, applying one Scenario deterministically. Not
+// safe for concurrent Read/Read or Write/Write calls (net.Conn's own
+// contract); Read and Write may run concurrently except under
+// WriteCoalesce/WriteSwap, whose flush-on-read handoff serializes on an
+// internal mutex.
+type Conn struct {
+	net.Conn
+	sc    Scenario
+	stats *ScenarioStats
+
+	// Read state.
+	rdOff   int    // real bytes delivered so far
+	pre     []byte // injected prefix (alert + garbage) still to deliver
+	mask    byte   // corruption XOR mask, seeded nonzero
+	termErr error  // non-nil once a truncate/reset fired; returned by every later Read
+
+	// Write state.
+	wrOff   int
+	stalled bool // stall already fired
+
+	// pending holds coalesced (or swap-held) bytes awaiting flush.
+	pendMu  sync.Mutex
+	pending []byte
+
+	// Deadline mirror: stalls and delays must honor deadlines without
+	// help from the underlying conn.
+	dlMu       sync.Mutex
+	rdDeadline time.Time
+	wrDeadline time.Time
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// newConn is called by Plan.Wrap with the fully derived scenario state.
+func newConn(underlying net.Conn, sc Scenario, pre []byte, mask byte, stats *ScenarioStats) *Conn {
+	return &Conn{
+		Conn:  underlying,
+		sc:    sc,
+		pre:   pre,
+		mask:  mask,
+		stats: stats,
+		done:  make(chan struct{}),
+	}
+}
+
+// pause sleeps for d, returning early with an error when the deadline
+// passes first or the conn is closed. A nil return means the full pause
+// elapsed.
+func (c *Conn) pause(d time.Duration, deadline time.Time) error {
+	if !deadline.IsZero() {
+		if until := time.Until(deadline); until < d {
+			// Sleep out the deadline, then report the timeout the caller
+			// would have hit inside the OS read/write.
+			if until > 0 {
+				t := time.NewTimer(until)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-c.done:
+					return net.ErrClosed
+				}
+			}
+			return stallTimeoutError{}
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.done:
+		return net.ErrClosed
+	}
+}
+
+func (c *Conn) readDeadline() time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return c.rdDeadline
+}
+
+func (c *Conn) writeDeadline() time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return c.wrDeadline
+}
+
+// SetDeadline mirrors the deadline for injected stalls and forwards it.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.rdDeadline, c.wrDeadline = t, t
+	c.dlMu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline mirrors and forwards.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.rdDeadline = t
+	c.dlMu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetWriteDeadline mirrors and forwards.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.wrDeadline = t
+	c.dlMu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// Read applies the scenario's read-side faults.
+func (c *Conn) Read(p []byte) (int, error) {
+	// A reader awaiting a reply implies the writer is done with its
+	// flight: flush coalesced bytes so hostile batching never deadlocks
+	// the exchange (the paper's probes survived Nagle, not black holes).
+	if err := c.flushPending(); err != nil {
+		return 0, err
+	}
+	if c.sc.ReadDelay > 0 {
+		c.stats.add(&c.stats.Delays, 1)
+		if err := c.pause(c.sc.ReadDelay, c.readDeadline()); err != nil {
+			return 0, err
+		}
+	}
+	if len(p) == 0 {
+		return c.Conn.Read(p)
+	}
+	// Injected prefix bytes are delivered before any real traffic and do
+	// not advance the real-stream offset.
+	if len(c.pre) > 0 {
+		n := copy(p, c.pre)
+		c.pre = c.pre[n:]
+		return n, nil
+	}
+	if c.termErr != nil {
+		return 0, c.termErr
+	}
+	limit := len(p)
+	if c.sc.ReadFragment > 0 && limit > c.sc.ReadFragment {
+		limit = c.sc.ReadFragment
+	}
+	// Never read past a scheduled truncation/reset boundary: the cut
+	// lands at the exact byte offset the schedule says.
+	cut := 0
+	if c.sc.TruncateReadAt > 0 {
+		cut = c.sc.TruncateReadAt
+	}
+	if c.sc.ResetReadAt > 0 && (cut == 0 || c.sc.ResetReadAt < cut) {
+		cut = c.sc.ResetReadAt
+	}
+	if cut > 0 {
+		if remain := cut - c.rdOff; remain <= 0 {
+			return 0, c.kill()
+		} else if limit > remain {
+			limit = remain
+		}
+	}
+	n, err := c.Conn.Read(p[:limit])
+	if n > 0 {
+		if every := c.sc.CorruptReadEvery; every > 0 {
+			for i := 0; i < n; i++ {
+				if (c.rdOff+i+1)%every == 0 {
+					p[i] ^= c.mask
+					c.stats.add(&c.stats.CorruptBytes, 1)
+				}
+			}
+		}
+		c.rdOff += n
+		c.stats.add(&c.stats.BytesRead, uint64(n))
+	}
+	c.stats.add(&c.stats.Reads, 1)
+	if err == nil && cut > 0 && c.rdOff >= cut {
+		// Deliver the final bytes now; the next Read reports the cut.
+		c.kill()
+	}
+	return n, err
+}
+
+// kill fires the scheduled truncation or reset exactly at its boundary
+// and returns the terminal error every subsequent Read repeats.
+func (c *Conn) kill() error {
+	c.closeUnderlying()
+	if c.sc.ResetReadAt > 0 && (c.sc.TruncateReadAt == 0 || c.sc.ResetReadAt <= c.sc.TruncateReadAt) {
+		c.stats.add(&c.stats.Resets, 1)
+		c.termErr = ErrInjectedReset
+	} else {
+		c.stats.add(&c.stats.Truncates, 1)
+		c.termErr = io.EOF
+	}
+	return c.termErr
+}
+
+func (c *Conn) closeUnderlying() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.Conn.Close()
+	})
+}
+
+// Write applies the scenario's write-side faults. It reports len(p) on
+// success regardless of duplication.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.stats.add(&c.stats.Writes, 1)
+	if at := c.sc.WriteStallAt; at > 0 && !c.stalled && c.wrOff+len(p) > at {
+		// Deliver the pre-stall prefix, then go quiet.
+		head := at - c.wrOff
+		if head < 0 {
+			head = 0
+		}
+		if head > 0 {
+			if n, err := c.writeSegments(p[:head]); err != nil {
+				return n, err
+			}
+		}
+		c.stalled = true
+		c.stats.add(&c.stats.Stalls, 1)
+		if err := c.pause(c.sc.StallFor, c.writeDeadline()); err != nil {
+			return head, err
+		}
+		n, err := c.writeSegments(p[head:])
+		return head + n, err
+	}
+	return c.writeSegments(p)
+}
+
+// writeSegments fragments, swaps, duplicates, or coalesces p per the
+// scenario and delivers it to the underlying conn.
+func (c *Conn) writeSegments(p []byte) (int, error) {
+	if c.sc.WriteCoalesce {
+		c.pendMu.Lock()
+		c.pending = append(c.pending, p...)
+		c.pendMu.Unlock()
+		c.wrOff += len(p)
+		c.stats.add(&c.stats.BytesWritten, uint64(len(p)))
+		return len(p), nil
+	}
+	frag := c.sc.WriteFragment
+	if frag <= 0 {
+		frag = len(p)
+	}
+	var segs [][]byte
+	for rest := p; len(rest) > 0; {
+		n := frag
+		if n > len(rest) {
+			n = len(rest)
+		}
+		segs = append(segs, rest[:n])
+		rest = rest[n:]
+	}
+	if c.sc.WriteSwap {
+		for i := 0; i+1 < len(segs); i += 2 {
+			segs[i], segs[i+1] = segs[i+1], segs[i]
+			c.stats.add(&c.stats.SwappedPairs, 1)
+		}
+	}
+	written := 0
+	for _, seg := range segs {
+		n, err := c.Conn.Write(seg)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if c.sc.WriteDup {
+			if _, err := c.Conn.Write(seg); err != nil {
+				return written, err
+			}
+			c.stats.add(&c.stats.DupSegments, 1)
+		}
+	}
+	c.wrOff += written
+	c.stats.add(&c.stats.BytesWritten, uint64(written))
+	return written, nil
+}
+
+// flushPending delivers coalesced bytes in one underlying Write.
+func (c *Conn) flushPending() error {
+	c.pendMu.Lock()
+	pend := c.pending
+	c.pending = nil
+	c.pendMu.Unlock()
+	if len(pend) == 0 {
+		return nil
+	}
+	c.stats.add(&c.stats.CoalescedFlushes, 1)
+	_, err := c.Conn.Write(pend)
+	return err
+}
+
+// Close flushes any coalesced bytes (best effort) and closes the
+// underlying conn. It also aborts any in-flight injected stall.
+func (c *Conn) Close() error {
+	_ = c.flushPending()
+	c.closeUnderlying()
+	return nil
+}

@@ -1,0 +1,403 @@
+package faultnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlsfof/internal/stats"
+)
+
+// ScenarioStats counts the fault activity of every connection that ran
+// one scenario. All fields are updated atomically and safe to snapshot
+// while connections are live.
+type ScenarioStats struct {
+	Conns            uint64 `json:"conns"`
+	Reads            uint64 `json:"reads"`
+	Writes           uint64 `json:"writes"`
+	BytesRead        uint64 `json:"bytes_read"`
+	BytesWritten     uint64 `json:"bytes_written"`
+	Truncates        uint64 `json:"truncates"`
+	Resets           uint64 `json:"resets"`
+	CorruptBytes     uint64 `json:"corrupt_bytes"`
+	GarbageBytes     uint64 `json:"garbage_bytes"`
+	Alerts           uint64 `json:"alerts"`
+	Stalls           uint64 `json:"stalls"`
+	Delays           uint64 `json:"delays"`
+	DupSegments      uint64 `json:"dup_segments"`
+	SwappedPairs     uint64 `json:"swapped_pairs"`
+	CoalescedFlushes uint64 `json:"coalesced_flushes"`
+}
+
+func (s *ScenarioStats) add(field *uint64, n uint64) {
+	if s == nil {
+		return
+	}
+	atomic.AddUint64(field, n)
+}
+
+// snapshot copies the stats without tearing.
+func (s *ScenarioStats) snapshot() ScenarioStats {
+	var out ScenarioStats
+	out.Conns = atomic.LoadUint64(&s.Conns)
+	out.Reads = atomic.LoadUint64(&s.Reads)
+	out.Writes = atomic.LoadUint64(&s.Writes)
+	out.BytesRead = atomic.LoadUint64(&s.BytesRead)
+	out.BytesWritten = atomic.LoadUint64(&s.BytesWritten)
+	out.Truncates = atomic.LoadUint64(&s.Truncates)
+	out.Resets = atomic.LoadUint64(&s.Resets)
+	out.CorruptBytes = atomic.LoadUint64(&s.CorruptBytes)
+	out.GarbageBytes = atomic.LoadUint64(&s.GarbageBytes)
+	out.Alerts = atomic.LoadUint64(&s.Alerts)
+	out.Stalls = atomic.LoadUint64(&s.Stalls)
+	out.Delays = atomic.LoadUint64(&s.Delays)
+	out.DupSegments = atomic.LoadUint64(&s.DupSegments)
+	out.SwappedPairs = atomic.LoadUint64(&s.SwappedPairs)
+	out.CoalescedFlushes = atomic.LoadUint64(&s.CoalescedFlushes)
+	return out
+}
+
+// ConnSchedule is the fully derived fault plan of one wrapped
+// connection — everything nondeterministic about its behavior, pinned.
+// Two plans with the same seed produce byte-identical schedules for the
+// same wrap sequence, which is the replayability contract TestFaultMatrix
+// asserts.
+type ConnSchedule struct {
+	Conn        int    `json:"conn"`
+	Scenario    string `json:"scenario"`
+	RNGSeed     uint64 `json:"rng_seed"`
+	CorruptMask byte   `json:"corrupt_mask"`
+	// Prefix is the exact injected byte prefix (alert record + garbage).
+	Prefix []byte `json:"prefix,omitempty"`
+	// The offsets and knobs copied from the scenario, so the schedule
+	// alone describes the faults.
+	TruncateReadAt   int   `json:"truncate_read_at,omitempty"`
+	ResetReadAt      int   `json:"reset_read_at,omitempty"`
+	CorruptReadEvery int   `json:"corrupt_read_every,omitempty"`
+	WriteFragment    int   `json:"write_fragment,omitempty"`
+	ReadFragment     int   `json:"read_fragment,omitempty"`
+	WriteStallAt     int   `json:"write_stall_at,omitempty"`
+	StallForMS       int64 `json:"stall_for_ms,omitempty"`
+	ReadDelayUS      int64 `json:"read_delay_us,omitempty"`
+	WriteCoalesce    bool  `json:"write_coalesce,omitempty"`
+	WriteDup         bool  `json:"write_dup,omitempty"`
+	WriteSwap        bool  `json:"write_swap,omitempty"`
+}
+
+// Plan derives deterministic per-connection fault state from one seed.
+// Scenarios are assigned to connections round-robin in wrap order. Safe
+// for concurrent use.
+type Plan struct {
+	Seed      uint64
+	Scenarios []Scenario
+
+	mu       sync.Mutex
+	next     int
+	schedule []ConnSchedule
+	stats    map[string]*ScenarioStats
+}
+
+// NewPlan builds a plan over the given scenarios (the zero-fault clean
+// scenario when none are given).
+func NewPlan(seed uint64, scenarios ...Scenario) *Plan {
+	if len(scenarios) == 0 {
+		scenarios = []Scenario{{Name: "clean"}}
+	}
+	return &Plan{Seed: seed, Scenarios: scenarios, stats: make(map[string]*ScenarioStats)}
+}
+
+// Wrap assigns the next scenario to conn and returns the fault-injecting
+// wrapper. The derived schedule entry is appended to Plan.Schedule.
+//
+// Per-connection randomness comes from the repo's deterministic RNG
+// substrate (internal/stats), seeded by a PRF of (plan seed, connection
+// index) with no shared stream state — wrap order is the only thing
+// that matters for schedule determinism.
+func (p *Plan) Wrap(conn net.Conn) *Conn {
+	p.mu.Lock()
+	idx := p.next
+	p.next++
+	sc := p.Scenarios[idx%len(p.Scenarios)]
+	seed := p.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15
+	r := stats.NewRNG(seed)
+	mask := byte(r.Uint64()) | 0x01 // nonzero: a corruption always changes the byte
+	var prefix []byte
+	if sc.AlertPrefix {
+		prefix = append(prefix, spuriousAlert[:]...)
+	}
+	if sc.GarbagePrefix > 0 {
+		garbage := make([]byte, sc.GarbagePrefix)
+		r.Bytes(garbage)
+		prefix = append(prefix, garbage...)
+	}
+	entry := ConnSchedule{
+		Conn:             idx,
+		Scenario:         sc.Name,
+		RNGSeed:          seed,
+		CorruptMask:      mask,
+		Prefix:           prefix,
+		TruncateReadAt:   sc.TruncateReadAt,
+		ResetReadAt:      sc.ResetReadAt,
+		CorruptReadEvery: sc.CorruptReadEvery,
+		WriteFragment:    sc.WriteFragment,
+		ReadFragment:     sc.ReadFragment,
+		WriteStallAt:     sc.WriteStallAt,
+		StallForMS:       sc.StallFor.Milliseconds(),
+		ReadDelayUS:      sc.ReadDelay.Microseconds(),
+		WriteCoalesce:    sc.WriteCoalesce,
+		WriteDup:         sc.WriteDup,
+		WriteSwap:        sc.WriteSwap,
+	}
+	p.schedule = append(p.schedule, entry)
+	st := p.stats[sc.Name]
+	if st == nil {
+		st = &ScenarioStats{}
+		p.stats[sc.Name] = st
+	}
+	p.mu.Unlock()
+
+	st.add(&st.Conns, 1)
+	st.add(&st.GarbageBytes, uint64(sc.GarbagePrefix))
+	if sc.AlertPrefix {
+		st.add(&st.Alerts, 1)
+	}
+	return newConn(conn, sc, prefix, mask, st)
+}
+
+// Schedule snapshots the derived per-connection fault schedule so far.
+func (p *Plan) Schedule() []ConnSchedule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ConnSchedule, len(p.schedule))
+	copy(out, p.schedule)
+	return out
+}
+
+// Stats snapshots per-scenario fault accounting.
+func (p *Plan) Stats() map[string]ScenarioStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]ScenarioStats, len(p.stats))
+	for name, st := range p.stats {
+		out[name] = st.snapshot()
+	}
+	return out
+}
+
+// Dialer wraps a host-keyed dial function so every dialed connection
+// passes through the plan — the probe-side mount point.
+func (p *Plan) Dialer(dial func(host string) (net.Conn, error)) func(host string) (net.Conn, error) {
+	return func(host string) (net.Conn, error) {
+		conn, err := dial(host)
+		if err != nil {
+			return nil, err
+		}
+		return p.Wrap(conn), nil
+	}
+}
+
+// Listener wraps ln so every accepted connection passes through the
+// plan — the proxy-side mount point (cmd/mitmd -fault).
+func (p *Plan) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, plan: p}
+}
+
+type faultListener struct {
+	net.Listener
+	plan *Plan
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.plan.Wrap(conn), nil
+}
+
+// Transport returns an http.RoundTripper whose TCP connections pass
+// through the plan — the ingest-client mount point. Keep-alives are
+// disabled so every request meets the fault schedule afresh.
+func (p *Plan) Transport() *http.Transport {
+	var d net.Dialer
+	return &http.Transport{
+		DisableKeepAlives: true,
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			conn, err := d.DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return p.Wrap(conn), nil
+		},
+	}
+}
+
+// Scenarios returns the built-in fault grid: one scenario per fault
+// family, tuned so a few-KB TLS flight meets every fault mid-flight.
+// TestFaultMatrix drives this exact grid through both planes.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "clean"},
+		{Name: "truncate", TruncateReadAt: 600},
+		{Name: "reset", ResetReadAt: 600},
+		{Name: "fragment", WriteFragment: 3, ReadFragment: 7},
+		{Name: "coalesce", WriteCoalesce: true},
+		{Name: "slow", ReadDelay: 2 * time.Millisecond, ReadFragment: 512},
+		{Name: "slowloris", WriteStallAt: 20, StallFor: 30 * time.Second},
+		{Name: "corrupt", CorruptReadEvery: 64},
+		{Name: "garbage", GarbagePrefix: 16},
+		{Name: "alert", AlertPrefix: true},
+		{Name: "duplicate", WriteFragment: 64, WriteDup: true},
+		{Name: "reorder", WriteFragment: 16, WriteSwap: true},
+	}
+}
+
+// ScenarioByName looks a built-in scenario up.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// ScenarioNames lists the built-in scenario names, sorted.
+func ScenarioNames() []string {
+	scs := Scenarios()
+	names := make([]string, len(scs))
+	for i, sc := range scs {
+		names[i] = sc.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseSpec parses the -fault flag DSL into a plan:
+//
+//	spec     = selector *( "," option )
+//	selector = scenario-name | "all"
+//	option   = "seed=" uint | knob "=" value
+//	knob     = "truncate" | "reset" | "rfrag" | "wfrag" | "corrupt" |
+//	           "garbage" | "delay" (duration) | "stallat" | "stallfor"
+//	           (duration) | "coalesce" | "dup" | "swap" | "alert"
+//
+// Examples: "fragment", "all,seed=42", "truncate,truncate=128",
+// "clean,wfrag=2,seed=7". Knob options override the selected scenario's
+// fields (for "all", every scenario's).
+func ParseSpec(spec string) (*Plan, error) {
+	parts := strings.Split(spec, ",")
+	sel := strings.TrimSpace(parts[0])
+	var scenarios []Scenario
+	switch {
+	case sel == "all":
+		scenarios = Scenarios()
+	default:
+		sc, ok := ScenarioByName(sel)
+		if !ok {
+			return nil, fmt.Errorf("faultnet: unknown scenario %q (have %s, or \"all\")", sel, strings.Join(ScenarioNames(), ", "))
+		}
+		scenarios = []Scenario{sc}
+	}
+	var seed uint64 = 1
+	for _, opt := range parts[1:] {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(opt, "=")
+		apply := func(f func(sc *Scenario) error) error {
+			for i := range scenarios {
+				if err := f(&scenarios[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		parseInt := func() (int, error) {
+			if !hasVal {
+				return 0, fmt.Errorf("faultnet: option %q needs a value", key)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("faultnet: bad value %q for %q", val, key)
+			}
+			return n, nil
+		}
+		parseDur := func() (time.Duration, error) {
+			if !hasVal {
+				return 0, fmt.Errorf("faultnet: option %q needs a duration", key)
+			}
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return 0, fmt.Errorf("faultnet: bad duration %q for %q", val, key)
+			}
+			return d, nil
+		}
+		var err error
+		switch key {
+		case "seed":
+			if !hasVal {
+				return nil, fmt.Errorf("faultnet: seed needs a value")
+			}
+			seed, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultnet: bad seed %q", val)
+			}
+		case "truncate":
+			err = applyInt(apply, parseInt, func(sc *Scenario, n int) { sc.TruncateReadAt = n })
+		case "reset":
+			err = applyInt(apply, parseInt, func(sc *Scenario, n int) { sc.ResetReadAt = n })
+		case "rfrag":
+			err = applyInt(apply, parseInt, func(sc *Scenario, n int) { sc.ReadFragment = n })
+		case "wfrag":
+			err = applyInt(apply, parseInt, func(sc *Scenario, n int) { sc.WriteFragment = n })
+		case "corrupt":
+			err = applyInt(apply, parseInt, func(sc *Scenario, n int) { sc.CorruptReadEvery = n })
+		case "garbage":
+			err = applyInt(apply, parseInt, func(sc *Scenario, n int) { sc.GarbagePrefix = n })
+		case "stallat":
+			err = applyInt(apply, parseInt, func(sc *Scenario, n int) { sc.WriteStallAt = n })
+		case "delay":
+			var d time.Duration
+			if d, err = parseDur(); err == nil {
+				err = apply(func(sc *Scenario) error { sc.ReadDelay = d; return nil })
+			}
+		case "stallfor":
+			var d time.Duration
+			if d, err = parseDur(); err == nil {
+				err = apply(func(sc *Scenario) error { sc.StallFor = d; return nil })
+			}
+		case "coalesce":
+			err = apply(func(sc *Scenario) error { sc.WriteCoalesce = true; return nil })
+		case "dup":
+			err = apply(func(sc *Scenario) error { sc.WriteDup = true; return nil })
+		case "swap":
+			err = apply(func(sc *Scenario) error { sc.WriteSwap = true; return nil })
+		case "alert":
+			err = apply(func(sc *Scenario) error { sc.AlertPrefix = true; return nil })
+		default:
+			return nil, fmt.Errorf("faultnet: unknown option %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewPlan(seed, scenarios...), nil
+}
+
+// applyInt wires an integer knob through the shared parse/apply plumbing.
+func applyInt(apply func(func(*Scenario) error) error, parse func() (int, error), set func(*Scenario, int)) error {
+	n, err := parse()
+	if err != nil {
+		return err
+	}
+	return apply(func(sc *Scenario) error { set(sc, n); return nil })
+}

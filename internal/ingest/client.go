@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // DefaultClientBatch is the report count at which Client flushes
@@ -21,9 +22,13 @@ type ClientStats struct {
 	Reported uint64 `json:"reported"`
 	// Posts counts attempted HTTP round trips; PostErrors counts posts
 	// that did not fully succeed (transport failure, undecodable
-	// response, non-200 status, or a server-reported stream error).
+	// response, non-200 status, or a server-reported stream error) after
+	// retries were exhausted. Retries counts re-sent batches: a flush
+	// that failed partway (transport error, truncated response, 5xx) and
+	// was attempted again.
 	Posts      uint64 `json:"posts"`
 	PostErrors uint64 `json:"post_errors"`
+	Retries    uint64 `json:"retries"`
 	// Accepted and Rejected sum the server's per-batch BatchResult.
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
@@ -41,6 +46,19 @@ type Client struct {
 	HTTPClient *http.Client
 	// BatchSize triggers an automatic flush (DefaultClientBatch when <= 0).
 	BatchSize int
+	// Retries is how many times a failed flush is re-sent before the
+	// batch is declared lost. Only transport-level damage is retried —
+	// a connection error, a response that did not decode, or a 5xx —
+	// never a decoded server verdict (4xx rejections are final). Hostile
+	// networks routinely kill an upload mid-flush; the measurement must
+	// not shed a whole batch for one reset. The server side deduplicates
+	// nothing, so a retry of a partially-ingested stream can double-count
+	// reports; the study's aggregate tables tolerate that (§4's campaign
+	// counts are lower bounds).
+	Retries int
+	// RetryDelay is the pause before the first retry, doubling per
+	// attempt (50ms when 0).
+	RetryDelay time.Duration
 
 	mu    sync.Mutex
 	buf   []Report
@@ -116,9 +134,11 @@ func (c *Client) Flush() error {
 	return c.post(batch)
 }
 
-// post encodes and uploads one batch, folding the server's BatchResult
-// into the stats. The batch slice and encode buffer are recycled on every
-// exit path.
+// post encodes and uploads one batch, retrying transport-level failures
+// up to c.Retries times, and folds the server's BatchResult into the
+// stats. The batch slice is recycled immediately after encoding; the
+// encode buffer is recycled unless a transport error may still be
+// referencing it.
 func (c *Client) post(batch []Report) error {
 	var scratch []byte
 	if bp, ok := c.encodePool.Get().(*[]byte); ok {
@@ -130,55 +150,90 @@ func (c *Client) post(batch []Report) error {
 		c.encodePool.Put(&scratch)
 		return fmt.Errorf("ingest: encode batch: %w", err)
 	}
+	delay := c.RetryDelay
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	// anyTransport is sticky across attempts: if ANY attempt ended in a
+	// transport error, that attempt's HTTP machinery may still briefly
+	// reference body even after a later attempt succeeds, so the encode
+	// buffer must be dropped, not recycled — the next post re-grows one.
+	var retryable, transport, anyTransport bool
+	for attempt := 0; ; attempt++ {
+		err, retryable, transport = c.postOnce(body)
+		anyTransport = anyTransport || transport
+		if err == nil || !retryable || attempt >= c.Retries {
+			break
+		}
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+		time.Sleep(delay)
+		delay *= 2
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.stats.PostErrors++
+		c.mu.Unlock()
+	}
+	if anyTransport {
+		return err
+	}
+	body = body[:0]
+	c.encodePool.Put(&body)
+	return err
+}
+
+// postOnce performs one upload round trip. retryable reports whether a
+// failure is worth re-sending: a connection error, a response damaged in
+// flight (undecodable on a 200 or 5xx), or a 5xx — never a decoded
+// server verdict and never a deterministic endpoint mismatch (a 404's
+// HTML page fails identically every time). transport is true only when
+// the HTTP client returned an error, i.e. only then may it still
+// reference body. Server Accepted/Rejected counts fold into the stats
+// only on outcomes that end the attempt loop, so a retried batch is
+// never double-counted.
+func (c *Client) postOnce(body []byte) (err error, retryable, transport bool) {
 	httpc := c.HTTPClient
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
 	resp, err := httpc.Post(c.URL, "application/octet-stream", bytes.NewReader(body))
 	if err != nil {
-		// The transport may briefly reference the request body after an
-		// error return, so the encode buffer is dropped, not recycled —
-		// the next post re-grows one.
-		c.mu.Lock()
-		c.stats.PostErrors++
-		c.mu.Unlock()
-		return fmt.Errorf("ingest: post batch: %w", err)
+		return fmt.Errorf("ingest: post batch: %w", err), true, true
 	}
-	// net/http sanctions request reuse once the response body is closed;
-	// defers run LIFO, so the buffer is recycled strictly after Close.
-	defer func() {
-		body = body[:0]
-		c.encodePool.Put(&body)
-	}()
 	defer resp.Body.Close()
 	// The endpoint answers a BatchResult on 200/400/413; anything that
-	// does not decode (a 404 from a wrong URL, a proxy error page) is a
-	// failed post — it must land in PostErrors so operators and exit
-	// codes see it, not just stderr.
+	// does not decode (a 404 from a wrong URL, a proxy error page, a
+	// response a hostile wire truncated) is a failed post.
 	var res BatchResult
 	decodeErr := json.NewDecoder(resp.Body).Decode(&res)
 	c.mu.Lock()
 	c.stats.Posts++
+	c.mu.Unlock()
 	if decodeErr != nil {
-		c.stats.PostErrors++
-		c.mu.Unlock()
-		return fmt.Errorf("ingest: batch response (HTTP %d): %w", resp.StatusCode, decodeErr)
+		retryable = resp.StatusCode == http.StatusOK || resp.StatusCode >= http.StatusInternalServerError
+		return fmt.Errorf("ingest: batch response (HTTP %d): %w", resp.StatusCode, decodeErr), retryable, false
 	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		// The attempt will be re-sent; folding this response's counts
+		// would tally the same batch once per retry.
+		return fmt.Errorf("ingest: batch post: HTTP %d", resp.StatusCode), true, false
+	}
+	c.mu.Lock()
 	c.stats.Accepted += uint64(res.Accepted)
 	c.stats.Rejected += uint64(res.Rejected)
+	c.mu.Unlock()
 	switch {
 	case res.Error != "":
-		// Stream-level damage: the server stopped decoding mid-batch.
-		c.stats.PostErrors++
-		c.mu.Unlock()
-		return fmt.Errorf("ingest: server rejected stream after %d reports: %s", res.Accepted, res.Error)
+		// Stream-level damage the server itself reported: it stopped
+		// decoding mid-batch. A decoded verdict is final, not retried —
+		// re-sending would double-ingest the accepted prefix for sure.
+		return fmt.Errorf("ingest: server rejected stream after %d reports: %s", res.Accepted, res.Error), false, false
 	case resp.StatusCode != http.StatusOK:
-		c.stats.PostErrors++
-		c.mu.Unlock()
-		return fmt.Errorf("ingest: batch post: HTTP %d", resp.StatusCode)
+		return fmt.Errorf("ingest: batch post: HTTP %d", resp.StatusCode), false, false
 	}
-	c.mu.Unlock()
-	return nil
+	return nil, false, false
 }
 
 // Stats snapshots the uploader accounting.

@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"tlsfof/internal/faultnet"
 )
 
 // Network is an in-memory internet. Safe for concurrent use.
@@ -82,14 +84,37 @@ func (n *Network) Intercepted(tap func(clientConn net.Conn, host string, upstrea
 }
 
 // View is a client-side vantage point of a Network, optionally behind an
-// interception tap.
+// interception tap and/or a fault-injection plan.
 type View struct {
-	net *Network
-	tap func(net.Conn, string, func(string) (net.Conn, error))
+	net    *Network
+	tap    func(net.Conn, string, func(string) (net.Conn, error))
+	faults *faultnet.Plan
+}
+
+// WithFaults returns a copy of the view whose TLS dials pass through the
+// fault plan — the client's last-mile wire turns hostile while the rest
+// of the simulated internet stays clean. Composes with Intercepted: the
+// faults sit between the client and whatever answers it (origin or
+// interception tap), exactly where a flaky access network would.
+func (v *View) WithFaults(p *faultnet.Plan) *View {
+	out := *v
+	out.faults = p
+	return &out
 }
 
 // Dial behaves like Network.Dial from this vantage point.
 func (v *View) Dial(host, service string) (net.Conn, error) {
+	conn, err := v.dial(host, service)
+	if err != nil {
+		return nil, err
+	}
+	if v.faults != nil && service == ServiceTLS {
+		return v.faults.Wrap(conn), nil
+	}
+	return conn, nil
+}
+
+func (v *View) dial(host, service string) (net.Conn, error) {
 	if v.tap == nil || service != ServiceTLS {
 		return v.net.Dial(host, service)
 	}

@@ -27,6 +27,17 @@ type Interceptor struct {
 	Dial Dialer
 	// Timeout bounds each upstream probe (default 10s).
 	Timeout time.Duration
+	// ClientTimeout bounds the client-facing handshake: the ClientHello
+	// sniff and, on interception, the forged-flight exchange. Without it
+	// a slowloris client that opens a connection and trickles (or stops
+	// sending) bytes parks a handler goroutine forever. When set, the
+	// interceptor owns the connection's read deadline during the sniff
+	// (it is cleared once the hello parses, erasing any deadline the
+	// caller installed) — use either ClientTimeout or caller-managed
+	// deadlines, not both. 0 preserves the old unbounded behavior for
+	// callers that set deadlines themselves (cmd/mitmd sets a
+	// whole-connection deadline).
+	ClientTimeout time.Duration
 
 	mu       sync.Mutex
 	upstream map[string][][]byte // authoritative chains, by host
@@ -115,6 +126,12 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 	cs.tee.r = clientConn
 	cs.rr.Reset(&cs.tee)
 	cs.hr.Reset(cs.rr)
+	if ic.ClientTimeout > 0 {
+		// Bound the sniff alone; the deadline is cleared once the hello
+		// is parsed so a long-lived passthrough splice is not killed by
+		// the handshake budget.
+		clientConn.SetReadDeadline(time.Now().Add(ic.ClientTimeout))
+	}
 	msgType, body, err := cs.hr.Next()
 	if err != nil {
 		return fmt.Errorf("proxyengine: read ClientHello: %w", err)
@@ -124,6 +141,9 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 	}
 	if err := tlswire.ParseClientHello(body, &cs.ch); err != nil {
 		return err
+	}
+	if ic.ClientTimeout > 0 {
+		clientConn.SetReadDeadline(time.Time{})
 	}
 	host := HostnameForSNI(cs.ch.ServerName)
 	if host == "" {
@@ -159,7 +179,8 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 		cs.replay.Conn = clientConn
 		cs.replay.pre.Reset(cs.sniffed.Bytes())
 		return tlswire.Respond(&cs.replay, tlswire.ResponderConfig{
-			Chain: tlswire.StaticChain(decision.ChainDER),
+			Chain:   tlswire.StaticChain(decision.ChainDER),
+			Timeout: ic.ClientTimeout,
 		})
 	default:
 		return fmt.Errorf("proxyengine: unknown action %v", decision.Action)
@@ -187,6 +208,13 @@ func (ic *Interceptor) splice(clientConn net.Conn, host string, alreadyRead []by
 		close(done)
 	}()
 	io.Copy(clientConn, upstream)
+	// The upstream side is finished. A client that holds its half open
+	// (never sends EOF) would park the client→upstream copy — and this
+	// handler — forever; expire its read so the splice always unwinds.
+	// The deadline is deliberately not cleared afterwards: the spliced
+	// connection is over, every caller closes it on return, and a zero
+	// clear would stomp a caller-installed deadline.
+	clientConn.SetReadDeadline(time.Now())
 	<-done
 	return nil
 }

@@ -69,8 +69,8 @@ func TestCertificateMsgAppendToMatchesMarshal(t *testing.T) {
 
 func TestAppendHandshakeMatchesWriteHandshake(t *testing.T) {
 	bodies := [][]byte{
-		nil,            // ServerHelloDone
-		{1, 2, 3},      // small
+		nil,       // ServerHelloDone
+		{1, 2, 3}, // small
 		bytes.Repeat([]byte{0xab}, maxRecordPayload),     // exactly one full record with header spill
 		bytes.Repeat([]byte{0xcd}, 3*maxRecordPayload+7), // multi-fragment
 	}

@@ -192,6 +192,12 @@ func ParseClientHello(body []byte, ch *ClientHello) error {
 	if err != nil {
 		return err
 	}
+	if len(sessionID) > 32 {
+		// RFC 5246 §7.4.1.2 bounds SessionID at 32 bytes; Marshal refuses
+		// longer ones, so accepting them here would make parse→marshal
+		// asymmetric (surfaced by FuzzParseServerHello's twin of this).
+		return fmt.Errorf("tlswire: ClientHello: session id of %d bytes exceeds 32", len(sessionID))
+	}
 	ch.SessionID = append(ch.SessionID[:0], sessionID...)
 	suites, err := b.vec16()
 	if err != nil {
@@ -199,6 +205,11 @@ func ParseClientHello(body []byte, ch *ClientHello) error {
 	}
 	if len(suites)%2 != 0 {
 		return fmt.Errorf("tlswire: ClientHello: odd cipher suite vector length %d", len(suites))
+	}
+	if len(suites) == 0 {
+		// A ClientHello offering nothing is protocol-invalid (and
+		// unmarshalable); surfaced by FuzzParseClientHello.
+		return fmt.Errorf("tlswire: ClientHello: empty cipher suite vector")
 	}
 	ch.CipherSuites = ch.CipherSuites[:0]
 	for i := 0; i < len(suites); i += 2 {
@@ -299,6 +310,11 @@ func ParseServerHello(body []byte, sh *ServerHello) error {
 	sessionID, err := b.vec8()
 	if err != nil {
 		return err
+	}
+	if len(sessionID) > 32 {
+		// RFC 5246 §7.4.1.3 bounds SessionID at 32 bytes (surfaced by
+		// FuzzParseServerHello: Marshal refuses what parse accepted).
+		return fmt.Errorf("tlswire: ServerHello: session id of %d bytes exceeds 32", len(sessionID))
 	}
 	sh.SessionID = append(sh.SessionID[:0], sessionID...)
 	if sh.CipherSuite, err = b.u16(); err != nil {

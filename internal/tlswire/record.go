@@ -181,6 +181,21 @@ func AppendAlert(dst []byte, version uint16, a Alert) []byte {
 	return append(dst, RecordAlert, byte(version>>8), byte(version), 0, 2, a.Level, a.Description)
 }
 
+// MaxHandshakeLen bounds the declared length of one handshake message.
+// The 3-byte length field can claim up to 16MB−1; a hostile peer that
+// sends such a prefix must not be able to make the reader buffer (or
+// even try to buffer) anything near that. The bound is checked before
+// the reassembly loop buffers the body, so the cost of a hostile length
+// prefix is one record, not one allocation per claimed megabyte. Real
+// handshake messages top out at the certificate chain, far below 1MiB.
+const MaxHandshakeLen = 1 << 20
+
+// maxEmptyHandshakeRecords bounds consecutive zero-length handshake
+// records. RFC 5246 permits empty fragments, but a peer streaming them
+// forever would otherwise spin the reassembly loop without progress —
+// a livelock the fault matrix's hostile peers exposed.
+const maxEmptyHandshakeRecords = 4
+
 // HandshakeReader reassembles handshake messages that may span record
 // boundaries (RFC 5246 §6.2.1 permits arbitrary fragmentation). It owns
 // one reassembly buffer that is compacted and reused across messages and
@@ -194,6 +209,9 @@ type HandshakeReader struct {
 	// the start of the next call.
 	buf []byte
 	off int
+	// empty counts consecutive zero-length handshake records (see
+	// maxEmptyHandshakeRecords).
+	empty int
 	// LastAlert records the most recent alert seen instead of a handshake
 	// message; Next returns ErrAlertReceived when one arrives.
 	LastAlert Alert
@@ -214,6 +232,7 @@ func (hr *HandshakeReader) Reset(rr *RecordReader) {
 	hr.rr = rr
 	hr.buf = hr.buf[:0]
 	hr.off = 0
+	hr.empty = 0
 	hr.LastAlert = Alert{}
 }
 
@@ -237,8 +256,8 @@ func (hr *HandshakeReader) Next() (msgType uint8, body []byte, err error) {
 		}
 	}
 	msgLen := int(hr.buf[1])<<16 | int(hr.buf[2])<<8 | int(hr.buf[3])
-	if msgLen > 1<<20 {
-		return 0, nil, fmt.Errorf("tlswire: handshake message of %d bytes exceeds 1MiB cap", msgLen)
+	if msgLen > MaxHandshakeLen {
+		return 0, nil, fmt.Errorf("tlswire: handshake message of %d bytes exceeds %d-byte cap", msgLen, MaxHandshakeLen)
 	}
 	for len(hr.buf) < 4+msgLen {
 		if err := hr.fill(); err != nil {
@@ -257,6 +276,17 @@ func (hr *HandshakeReader) fill() error {
 	}
 	switch hr.rec.Type {
 	case RecordHandshake:
+		if len(hr.rec.Payload) == 0 {
+			// Tolerate the occasional empty fragment, but refuse a stream
+			// of them: each fill must eventually make progress or the
+			// reassembly loop would spin forever.
+			hr.empty++
+			if hr.empty > maxEmptyHandshakeRecords {
+				return fmt.Errorf("tlswire: %d consecutive empty handshake records", hr.empty)
+			}
+			return nil
+		}
+		hr.empty = 0
 		hr.buf = append(hr.buf, hr.rec.Payload...)
 		return nil
 	case RecordAlert:
