@@ -10,148 +10,208 @@
 //
 // Measurements flow through the sharded ingest pipeline (internal/ingest):
 // -shards partitions the store, -batch sets the pipeline batch size, and
-// clients may stream many reports per request to /ingest/batch in the
+// clients may stream many reports per connection to /ingest/batch in the
 // compact binary wire format instead of one concatenated-PEM POST per
 // report to /report.
+//
+// With -data-dir the pipeline is durable (DESIGN.md §10): every accepted
+// measurement is written ahead to a per-shard WAL, -snapshot-every folds
+// the WAL into compact snapshots on a timer, boot recovers whatever a
+// previous process persisted, and SIGTERM/SIGINT shut down gracefully —
+// stop accepting, drain the ingest shards, fsync the WAL, and write a
+// final snapshot — so a restart never forfeits the collected study.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"tlsfof/internal/analysis"
 	"tlsfof/internal/chaincache"
 	"tlsfof/internal/classify"
 	"tlsfof/internal/core"
+	"tlsfof/internal/durable"
 	"tlsfof/internal/geo"
 	"tlsfof/internal/ingest"
 	"tlsfof/internal/store"
 	"tlsfof/internal/x509util"
 )
 
-func main() {
-	var (
-		listen   = flag.String("listen", ":8080", "HTTP listen address")
-		host     = flag.String("host", "", "single probe host name (with -reference)")
-		refPath  = flag.String("reference", "", "PEM file with the authoritative chain for -host")
-		refDir   = flag.String("refdir", "", "directory of <host>.pem authoritative chains")
-		campaign = flag.String("campaign", "manual", "campaign label stamped onto measurements")
-		shards   = flag.Int("shards", 4, "ingest pipeline shards (1 = single store)")
-		batch    = flag.Int("batch", ingest.DefaultBatchSize, "ingest pipeline batch size")
-		queue    = flag.Int("queue", 64, "per-shard queue depth in batches")
-		obsCache = flag.Int("obs-cache", chaincache.DefaultCap, "observation cache capacity in distinct (host, chain) pairs (0 disables)")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (disabled when empty)")
-	)
-	flag.Parse()
+// hostChain is one registered authoritative chain.
+type hostChain struct {
+	host  string
+	chain [][]byte
+}
 
-	if *pprofA != "" {
-		// pprof registers on http.DefaultServeMux; the report mux below is
-		// separate, so profiling stays off the public listener.
-		go func() {
-			fmt.Fprintf(os.Stderr, "reportd: pprof: %v\n", http.ListenAndServe(*pprofA, nil))
-		}()
-		fmt.Printf("reportd: pprof on http://%s/debug/pprof/\n", *pprofA)
+// serverConfig is everything main parses from flags, separated so the
+// regression tests can run the identical server in-process.
+type serverConfig struct {
+	listen        string
+	campaign      string
+	shards        int
+	batch         int
+	queue         int
+	obsCache      int
+	dataDir       string
+	snapshotEvery time.Duration
+	refs          []hostChain
+	logw          io.Writer // server log destination (os.Stdout in main)
+}
+
+// server is the assembled reporting server.
+type server struct {
+	cfg      serverConfig
+	pipeline *ingest.Pipeline
+	col      *core.Collector
+	httpSrv  *http.Server
+	ln       net.Listener
+	recovery []durable.Info
+	started  time.Time
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.logw == nil {
+		cfg.logw = io.Discard
 	}
-
-	pipeline := ingest.NewPipeline(ingest.Config{
-		Shards:     *shards,
-		BatchSize:  *batch,
-		QueueDepth: *queue,
+	if len(cfg.refs) == 0 {
+		return nil, fmt.Errorf("reportd: no authoritative chains registered")
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = 1 // keep the shutdown snapshot loop in step with the pipeline's own clamp
+	}
+	pcfg := ingest.Config{
+		Shards:     cfg.shards,
+		BatchSize:  cfg.batch,
+		QueueDepth: cfg.queue,
 		Block:      true, // reports are precious: backpressure, never drop
-	})
+	}
+	if cfg.dataDir != "" {
+		pcfg.WALDir = cfg.dataDir
+	}
+	pipeline, recovery, err := ingest.OpenPipeline(pcfg)
+	if err != nil {
+		return nil, err
+	}
 	col := core.NewCollector(classify.NewClassifier(), geo.NewDB(), pipeline)
-	col.Campaign = *campaign
-	if *obsCache > 0 {
+	col.Campaign = cfg.campaign
+	if cfg.obsCache > 0 {
 		// The hot-path memo: repeated (host, chain) pairs — the paper's
 		// whole point is that a handful of products dominate — skip chain
 		// parsing and classification entirely.
-		col.Cache = core.NewObservationCache(*obsCache, 0)
+		col.Cache = core.NewObservationCache(cfg.obsCache, 0)
 	}
-	// snapshot folds the live shards into one queryable DB; the pipeline
-	// is drained first so every already-POSTed report is visible. It is
-	// O(retained records) — export-path only.
-	snapshot := func() *store.DB {
-		pipeline.Drain()
-		return pipeline.Merge(0)
+	for _, ref := range cfg.refs {
+		col.SetAuthoritative(ref.host, ref.chain)
+		fmt.Fprintf(cfg.logw, "reportd: registered authoritative chain for %s (%d certs)\n", ref.host, len(ref.chain))
 	}
-	// summary answers /stats from per-shard aggregates without touching
-	// retained records, so polling stays cheap at any store size.
-	summary := func() string {
-		pipeline.Drain()
-		var tot store.Agg
-		countries := make(map[string]struct{})
-		for _, db := range pipeline.Stores() {
-			t := db.Totals()
-			tot.Tested += t.Tested
-			tot.Proxied += t.Proxied
-			for _, c := range db.ProxiedCountryList() {
-				countries[c] = struct{}{}
-			}
+	s := &server{cfg: cfg, pipeline: pipeline, col: col, recovery: recovery, started: time.Now()}
+	for i, info := range recovery {
+		if info.LastSeq > 0 || info.DroppedTail {
+			fmt.Fprintf(cfg.logw, "reportd: shard %d recovered %d measurements (snapshot seq %d, %d replayed)%s\n",
+				i, info.LastSeq, info.SnapshotSeq, info.Replayed, recoveryNote(info))
 		}
-		return fmt.Sprintf("store: %d tested, %d proxied (%.2f%%), %d countries",
-			tot.Tested, tot.Proxied, 100*tot.Rate(), len(countries))
 	}
+	s.httpSrv = &http.Server{Handler: s.mux()}
+	return s, nil
+}
 
-	register := func(hostName, path string) {
-		pemBytes, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "reportd: %v\n", err)
-			os.Exit(1)
-		}
-		chain, err := x509util.DecodeChainPEM(pemBytes)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "reportd: %s: %v\n", path, err)
-			os.Exit(1)
-		}
-		col.SetAuthoritative(hostName, chain)
-		fmt.Printf("reportd: registered authoritative chain for %s (%d certs)\n", hostName, len(chain))
+func recoveryNote(info durable.Info) string {
+	if info.DroppedTail {
+		return " [dropped damaged tail: " + info.Reason + "]"
 	}
+	return ""
+}
 
-	switch {
-	case *host != "" && *refPath != "":
-		register(*host, *refPath)
-	case *refDir != "":
-		entries, err := os.ReadDir(*refDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "reportd: %v\n", err)
-			os.Exit(1)
+// snapshot folds the live shards into one queryable DB; the pipeline is
+// drained first so every already-POSTed report is visible. It is
+// O(retained records) — export-path only.
+func (s *server) snapshot() *store.DB {
+	s.pipeline.Drain()
+	return s.pipeline.Merge(0)
+}
+
+// summary answers /stats from per-shard aggregates without touching
+// retained records, so polling stays cheap at any store size.
+func (s *server) summary() string {
+	s.pipeline.Drain()
+	var tot store.Agg
+	countries := make(map[string]struct{})
+	for _, db := range s.pipeline.Stores() {
+		t := db.Totals()
+		tot.Tested += t.Tested
+		tot.Proxied += t.Proxied
+		for _, c := range db.ProxiedCountryList() {
+			countries[c] = struct{}{}
 		}
-		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".pem") {
-				continue
-			}
-			register(strings.TrimSuffix(e.Name(), ".pem"), filepath.Join(*refDir, e.Name()))
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "reportd: need -host + -reference, or -refdir")
-		os.Exit(1)
 	}
+	return fmt.Sprintf("store: %d tested, %d proxied (%.2f%%), %d countries",
+		tot.Tested, tot.Proxied, 100*tot.Rate(), len(countries))
+}
 
+// metrics is the /metrics document: ingest accounting, durable WAL
+// accounting per shard, cache stats, uptime.
+func (s *server) metrics() map[string]any {
+	m := map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"ingest":         s.pipeline.Stats(),
+	}
+	if wal := s.pipeline.WALStats(); wal != nil {
+		m["wal"] = wal
+		var bytes, fsyncs, frames uint64
+		segments := 0
+		for _, st := range wal {
+			bytes += uint64(st.WALBytes) + uint64(st.SnapshotBytes)
+			fsyncs += st.Fsyncs
+			frames += st.AppendedFrames
+			segments += st.Segments
+		}
+		m["wal_totals"] = map[string]uint64{
+			"disk_bytes": bytes, "fsyncs": fsyncs,
+			"appended_frames": frames, "segments": uint64(segments),
+		}
+	}
+	if s.col.Cache != nil {
+		m["cache"] = s.col.Cache.Stats()
+	}
+	return m
+}
+
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/report", col)
-	mux.Handle("/ingest/batch", ingest.BatchHandler(col))
-	mux.Handle("/ingest/stats", ingest.StatsHandler(pipeline))
+	mux.Handle("/report", s.col)
+	mux.Handle("/ingest/batch", ingest.BatchHandler(s.col))
+	mux.Handle("/ingest/stats", ingest.StatsHandler(s.pipeline))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.metrics())
+	})
 	mux.HandleFunc("/cache/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if col.Cache == nil {
+		if s.col.Cache == nil {
 			fmt.Fprintln(w, `{"enabled":false}`)
 			return
 		}
-		json.NewEncoder(w).Encode(col.Cache.Stats())
+		json.NewEncoder(w).Encode(s.col.Cache.Stats())
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, summary())
+		fmt.Fprintln(w, s.summary())
 	})
 	mux.HandleFunc("/export.csv", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
-		snapshot().WriteCSV(w)
+		s.snapshot().WriteCSV(w)
 	})
 	// Live table renders over the captured data: the examples/live-wire
 	// runbook curls these after driving a probe fleet through mitmd.
@@ -166,15 +226,193 @@ func main() {
 		render := render
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			if err := render(w, snapshot()); err != nil {
+			if err := render(w, s.snapshot()); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
 	}
-	fmt.Printf("reportd: listening on %s with %d ingest shards, obs cache %d (POST /report?host=..., POST /ingest/batch, GET /stats, /ingest/stats, /cache/stats, /export.csv, /table/{4,5,6,negligence,products})\n",
-		*listen, *shards, *obsCache)
-	if err := http.ListenAndServe(*listen, mux); err != nil {
-		fmt.Fprintf(os.Stderr, "reportd: %v\n", err)
-		os.Exit(1)
+	return mux
+}
+
+// start binds the listener (so tests can read the ephemeral port before
+// serving begins).
+func (s *server) start() error {
+	ln, err := net.Listen("tcp", s.cfg.listen)
+	if err != nil {
+		return err
 	}
+	s.ln = ln
+	return nil
+}
+
+func (s *server) addr() string { return s.ln.Addr().String() }
+
+// serve runs the HTTP server and the snapshot timer until a signal
+// arrives, then shuts down gracefully: stop accepting, drain every
+// ingest shard, close the WALs (final fsync), and write a final snapshot
+// per shard — the fix for the old behavior of dying mid-flush and
+// forfeiting queued reports.
+func (s *server) serve(sig <-chan os.Signal) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.httpSrv.Serve(s.ln) }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if s.cfg.snapshotEvery > 0 && s.cfg.dataDir != "" {
+		ticker = time.NewTicker(s.cfg.snapshotEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			if err := s.pipeline.Checkpoint(); err != nil {
+				fmt.Fprintf(s.cfg.logw, "reportd: checkpoint: %v\n", err)
+			}
+		case err := <-serveErr:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		case got := <-sig:
+			fmt.Fprintf(s.cfg.logw, "reportd: %v: draining ingest shards and snapshotting...\n", got)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := s.httpSrv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				// Shutdown timed out with handlers still running (a slow
+				// client mid-upload). Closing the pipeline now would close
+				// shard channels under an active producer; hard-close the
+				// connections first and give the unwinding handlers a
+				// moment to stop producing before the pipeline stops
+				// accepting.
+				fmt.Fprintf(s.cfg.logw, "reportd: graceful shutdown timed out (%v), closing connections\n", err)
+				s.httpSrv.Close()
+				time.Sleep(500 * time.Millisecond)
+				err = nil // mitigated; only persistence failures below are fatal
+			}
+			s.pipeline.Drain()
+			if cerr := s.pipeline.Close(); err == nil {
+				err = cerr
+			}
+			if s.cfg.dataDir != "" {
+				for i := 0; i < s.cfg.shards; i++ {
+					opt := durable.Options{Dir: filepath.Join(s.cfg.dataDir, fmt.Sprintf("shard-%03d", i))}
+					if _, serr := durable.Snapshot(opt); serr != nil && err == nil {
+						err = serr
+					}
+				}
+			}
+			fmt.Fprintf(s.cfg.logw, "reportd: shutdown complete (%s)\n", s.summaryClosed())
+			return err
+		}
+	}
+}
+
+// summaryClosed renders the final store line without draining (the
+// pipeline is already closed).
+func (s *server) summaryClosed() string {
+	var tot store.Agg
+	for _, db := range s.pipeline.Stores() {
+		if db == nil {
+			continue
+		}
+		t := db.Totals()
+		tot.Tested += t.Tested
+		tot.Proxied += t.Proxied
+	}
+	return fmt.Sprintf("%d tested, %d proxied", tot.Tested, tot.Proxied)
+}
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		host      = flag.String("host", "", "single probe host name (with -reference)")
+		refPath   = flag.String("reference", "", "PEM file with the authoritative chain for -host")
+		refDir    = flag.String("refdir", "", "directory of <host>.pem authoritative chains")
+		campaign  = flag.String("campaign", "manual", "campaign label stamped onto measurements")
+		shards    = flag.Int("shards", 4, "ingest pipeline shards (1 = single store)")
+		batch     = flag.Int("batch", ingest.DefaultBatchSize, "ingest pipeline batch size")
+		queue     = flag.Int("queue", 64, "per-shard queue depth in batches")
+		obsCache  = flag.Int("obs-cache", chaincache.DefaultCap, "observation cache capacity in distinct (host, chain) pairs (0 disables)")
+		dataDir   = flag.String("data-dir", "", "durable per-shard WAL + snapshot directory (recovered on boot; graceful shutdown snapshots)")
+		snapEvery = flag.Duration("snapshot-every", 0, "checkpoint the WALs on this cadence (e.g. 5m; 0 = only at shutdown; with -data-dir)")
+		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (disabled when empty)")
+	)
+	flag.Parse()
+
+	if *pprofA != "" {
+		// pprof registers on http.DefaultServeMux; the report mux is
+		// separate, so profiling stays off the public listener.
+		go func() {
+			fmt.Fprintf(os.Stderr, "reportd: pprof: %v\n", http.ListenAndServe(*pprofA, nil))
+		}()
+		fmt.Printf("reportd: pprof on http://%s/debug/pprof/\n", *pprofA)
+	}
+
+	loadRef := func(hostName, path string) hostChain {
+		pemBytes, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		chain, err := x509util.DecodeChainPEM(pemBytes)
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		return hostChain{host: hostName, chain: chain}
+	}
+	var refs []hostChain
+	switch {
+	case *host != "" && *refPath != "":
+		refs = append(refs, loadRef(*host, *refPath))
+	case *refDir != "":
+		entries, err := os.ReadDir(*refDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".pem") {
+				continue
+			}
+			refs = append(refs, loadRef(strings.TrimSuffix(e.Name(), ".pem"), filepath.Join(*refDir, e.Name())))
+		}
+	default:
+		fatalf("need -host + -reference, or -refdir")
+	}
+
+	srv, err := newServer(serverConfig{
+		listen:        *listen,
+		campaign:      *campaign,
+		shards:        *shards,
+		batch:         *batch,
+		queue:         *queue,
+		obsCache:      *obsCache,
+		dataDir:       *dataDir,
+		snapshotEvery: *snapEvery,
+		refs:          refs,
+		logw:          os.Stdout,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := srv.start(); err != nil {
+		fatalf("%v", err)
+	}
+	durableNote := ""
+	if *dataDir != "" {
+		durableNote = fmt.Sprintf(", durable WAL in %s", *dataDir)
+	}
+	fmt.Printf("reportd: listening on %s with %d ingest shards, obs cache %d%s (POST /report?host=..., POST /ingest/batch, GET /stats, /metrics, /ingest/stats, /cache/stats, /export.csv, /table/{4,5,6,negligence,products})\n",
+		srv.addr(), *shards, *obsCache, durableNote)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := srv.serve(sig); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "reportd: "+format+"\n", args...)
+	os.Exit(1)
 }

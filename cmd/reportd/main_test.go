@@ -1,0 +1,184 @@
+package main
+
+// Regression: reportd used to die on SIGTERM with reports still sitting
+// in the ingest pipeline's pending batches — everything not yet flushed
+// (and, pre-durability, everything ever collected) was forfeited. The
+// graceful path must drain every shard, fsync the WALs, and write final
+// snapshots, so a recovery over the data directory sees every report the
+// server ever accepted.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"tlsfof/internal/certgen"
+	"tlsfof/internal/durable"
+	"tlsfof/internal/hostdb"
+	"tlsfof/internal/store"
+	"tlsfof/internal/study"
+	"tlsfof/internal/x509util"
+)
+
+const testHost = "probe.example"
+
+func testRefs(t *testing.T) ([]hostChain, []byte) {
+	t.Helper()
+	pool := certgen.NewKeyPool(2, nil)
+	auth, err := study.BuildAuthoritative([]hostdb.Host{{Name: testHost, Category: hostdb.Popular}}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := auth.Chains[testHost]
+	return []hostChain{{host: testHost, chain: chain}}, x509util.EncodeChainPEM(chain)
+}
+
+func startTestServer(t *testing.T, dataDir string, shards, batch int) (*server, chan os.Signal, chan error) {
+	t.Helper()
+	refs, _ := testRefs(t)
+	srv, err := newServer(serverConfig{
+		listen:   "127.0.0.1:0",
+		campaign: "sigterm-test",
+		shards:   shards,
+		batch:    batch,
+		queue:    16,
+		dataDir:  dataDir,
+		refs:     refs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.start(); err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.serve(sig) }()
+	return srv, sig, done
+}
+
+func postReports(t *testing.T, addr string, pem []byte, n int) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; i < n; i++ {
+		resp, err := client.Post(
+			fmt.Sprintf("http://%s/report?host=%s", addr, testHost),
+			"application/x-pem-file", bytes.NewReader(pem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("report %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+// recoverDataDir merges every shard's durable state.
+func recoverDataDir(t *testing.T, dir string, shards int) *store.DB {
+	t.Helper()
+	dbs := make([]*store.DB, 0, shards)
+	for i := 0; i < shards; i++ {
+		db, _, err := durable.Recover(durable.Options{Dir: filepath.Join(dir, fmt.Sprintf("shard-%03d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbs = append(dbs, db)
+	}
+	return store.Merge(0, dbs...)
+}
+
+func TestSIGTERMDrainsAndSnapshots(t *testing.T) {
+	const shards, reports = 3, 25
+	dir := t.TempDir()
+	// Batch size far above the report count: every report sits in a
+	// pending buffer, never auto-flushed — exactly the mid-flush state
+	// the old server forfeited on SIGTERM.
+	srv, sig, done := startTestServer(t, dir, shards, 512)
+	_, pem := testRefs(t)
+	postReports(t, srv.addr(), pem, reports)
+
+	// /metrics must be live and show the durable plane.
+	resp, err := http.Get("http://" + srv.addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := metrics["wal"]; !ok {
+		t.Fatalf("/metrics lacks wal section: %v", metrics)
+	}
+
+	// Real SIGTERM through the real signal plumbing.
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+
+	// Every accepted report survived the process.
+	db := recoverDataDir(t, dir, shards)
+	if got := db.Totals().Tested; got != reports {
+		t.Fatalf("recovered %d measurements after SIGTERM, want %d", got, reports)
+	}
+	// The shutdown snapshot collapsed each shard dir (no WAL segments
+	// left behind, recovery is a snapshot decode).
+	for i := 0; i < shards; i++ {
+		entries, err := os.ReadDir(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) == ".log" {
+				t.Fatalf("shard %d still has WAL segment %s after shutdown snapshot", i, e.Name())
+			}
+		}
+	}
+}
+
+func TestBootRecoversPreviousProcess(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	srv, sig, done := startTestServer(t, dir, shards, 512)
+	_, pem := testRefs(t)
+	postReports(t, srv.addr(), pem, 10)
+	sig <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process over the same directory starts with the study
+	// intact and keeps counting from there.
+	srv2, sig2, done2 := startTestServer(t, dir, shards, 1)
+	postReports(t, srv2.addr(), pem, 5)
+	resp, err := http.Get("http://" + srv2.addr() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats bytes.Buffer
+	stats.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if want := "15 tested"; !bytes.Contains(stats.Bytes(), []byte(want)) {
+		t.Fatalf("/stats after restart = %q, want it to contain %q", stats.String(), want)
+	}
+	sig2 <- syscall.SIGTERM
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+	if got := recoverDataDir(t, dir, shards).Totals().Tested; got != 15 {
+		t.Fatalf("recovered %d measurements, want 15", got)
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,10 +35,14 @@ func main() {
 		csvPath   = flag.String("csv", "", "export proxied measurement records as CSV to this path")
 		jsonlPath = flag.String("jsonl", "", "export proxied measurement records as JSON Lines to this path")
 		obsCache  = flag.Bool("obs-cache", false, "derive observations through the fingerprint-keyed chain cache (same tables; prints cache stats)")
+		dataDir   = flag.String("data-dir", "", "durable WAL + checkpoint directory: an interrupted run rerun with the same flags resumes instead of restarting")
+		snapEvery = flag.Int("snapshot-every", 0, "checkpoint the WAL every N measurements (0 = only at completion; with -data-dir)")
+		abortAt   = flag.Int("abort-after", 0, "crash injection: abort the run after N durable measurements (exit 3; resume with the same -data-dir)")
 	)
 	flag.Parse()
 
-	cfg := tlsfof.StudyConfig{Seed: *seed, Scale: *scale, Shards: *shards, IngestBatch: *batchSize, ChainCache: *obsCache}
+	cfg := tlsfof.StudyConfig{Seed: *seed, Scale: *scale, Shards: *shards, IngestBatch: *batchSize, ChainCache: *obsCache,
+		DataDir: *dataDir, SnapshotEvery: *snapEvery, AbortAfter: *abortAt}
 	switch strings.ToLower(*studyName) {
 	case "first", "1":
 		cfg.Study = tlsfof.Study1
@@ -68,8 +73,20 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "running %s study (seed=%d scale=%g)...\n", *studyName, *seed, *scale)
 	res, err := tlsfof.RunStudy(cfg)
+	if errors.Is(err, tlsfof.ErrStudyAborted) {
+		fmt.Fprintf(os.Stderr, "study: %v\n", err)
+		os.Exit(3)
+	}
 	if err != nil {
 		fatalf("study failed: %v", err)
+	}
+	if r := res.Resume; r != nil {
+		if r.Recovered > 0 {
+			fmt.Fprintf(os.Stderr, "resumed from %s: %d measurements recovered (snapshot seq %d, %d WAL frames replayed), generation skipped what was durable\n",
+				*dataDir, r.Recovered, r.Info.SnapshotSeq, r.Info.Replayed)
+		}
+		fmt.Fprintf(os.Stderr, "durable: %d frames appended (%d bytes), %d fsyncs, %d segments, snapshot through seq %d\n",
+			r.WAL.AppendedFrames, r.WAL.AppendedBytes, r.WAL.Fsyncs, r.WAL.Segments, r.WAL.LastSeq)
 	}
 	tested, proxied := tlsfof.Totals(res)
 	fmt.Fprintf(os.Stderr, "completed in %v: %d certificate tests, %d proxied (%.2f%%)\n",

@@ -1,0 +1,223 @@
+package tlsfof
+
+// Golden-table conformance suite: the rendered paper artifacts (Tables
+// 1-8, the §5.2 negligence report, the §6.4 product diversity table) for
+// a small fixed-seed study are checked into testdata/golden/, and every
+// ingest path the system offers — single-threaded, sharded pipeline,
+// chain-cache-on, and recovered-from-WAL — must reproduce them
+// byte-for-byte. This pins the reproduction against every scaling and
+// persistence change at once: a PR that alters any byte of any table on
+// any path fails here.
+//
+// Regenerate after an intentional change with:
+//
+//	go test -run TestGoldenTables -update .
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tlsfof/internal/analysis"
+	"tlsfof/internal/certgen"
+	"tlsfof/internal/clientpop"
+	"tlsfof/internal/durable"
+	"tlsfof/internal/store"
+	"tlsfof/internal/study"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/ from the current sequential run")
+
+// goldenConfig is the fixed-seed study the fixtures pin. Study 2 renders
+// every artifact meaningfully (six campaigns, 18 hosts, every table
+// populated).
+func goldenConfig() study.Config {
+	return study.Config{Study: clientpop.Study2, Seed: 2014, Scale: 0.01, Pool: goldenPool}
+}
+
+var goldenPool = certgen.NewKeyPool(4, nil)
+
+// goldenArtifacts renders each artifact by name from a result whose
+// Store may have been swapped (the recovered-from-WAL path).
+func goldenArtifacts(t *testing.T, res *study.Result) map[string][]byte {
+	t.Helper()
+	render := func(f func(*bytes.Buffer) error) []byte {
+		var b bytes.Buffer
+		if err := f(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	return map[string][]byte{
+		"table1.txt": render(func(b *bytes.Buffer) error { return analysis.Table1(b, res.Hosts) }),
+		"table2.txt": render(func(b *bytes.Buffer) error { return analysis.Table2(b, res.Outcomes, res.Total) }),
+		"table3.txt": render(func(b *bytes.Buffer) error { return analysis.Table3(b, res.Store, res.Geo) }),
+		"table4.txt": render(func(b *bytes.Buffer) error { return analysis.Table4(b, res.Store, 0) }),
+		"table5.txt": render(func(b *bytes.Buffer) error { return analysis.Table5(b, res.Store) }),
+		"table6.txt": render(func(b *bytes.Buffer) error { return analysis.Table6(b, res.Store) }),
+		"table7.txt": render(func(b *bytes.Buffer) error { return analysis.Table7(b, res.Store, res.Geo) }),
+		"table8.txt": render(func(b *bytes.Buffer) error { return analysis.Table8(b, res.Store) }),
+		"negligence.txt": render(func(b *bytes.Buffer) error {
+			return analysis.Negligence(b, res.Store)
+		}),
+		"products.txt": render(func(b *bytes.Buffer) error {
+			return analysis.Products(b, res.Store, 0)
+		}),
+	}
+}
+
+func goldenDir(t *testing.T) string {
+	dir := filepath.Join("testdata", "golden")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// checkAgainstGolden compares every artifact with its fixture.
+func checkAgainstGolden(t *testing.T, path string, got map[string][]byte) {
+	t.Helper()
+	for name, data := range got {
+		want, err := os.ReadFile(filepath.Join(path, name))
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test -run TestGoldenTables -update .` to create fixtures)", name, err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("%s: rendered artifact differs from golden fixture\n--- got ---\n%s\n--- want ---\n%s", name, data, want)
+		}
+	}
+}
+
+func TestGoldenTables(t *testing.T) {
+	dir := goldenDir(t)
+
+	seq, err := study.Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := goldenArtifacts(t, seq)
+
+	if *updateGolden {
+		for name, data := range sequential {
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d golden fixtures in %s", len(sequential), dir)
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		checkAgainstGolden(t, dir, sequential)
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		cfg := goldenConfig()
+		cfg.Shards = 4
+		res, err := study.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstGolden(t, dir, goldenArtifacts(t, res))
+	})
+
+	t.Run("chaincache", func(t *testing.T) {
+		cfg := goldenConfig()
+		cfg.ChainCache = true
+		res, err := study.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstGolden(t, dir, goldenArtifacts(t, res))
+	})
+
+	t.Run("recovered-from-wal", func(t *testing.T) {
+		// Run with the durable plane on (small segments + mid-run
+		// checkpoints force real rotation, snapshotting, and
+		// compaction), then rebuild the store purely from disk and
+		// render from the recovered copy.
+		cfg := goldenConfig()
+		cfg.DataDir = t.TempDir()
+		cfg.SnapshotEvery = 5000
+		res, err := study.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstGolden(t, dir, goldenArtifacts(t, res))
+
+		recovered, info, err := durable.Recover(durable.Options{Dir: cfg.DataDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.DroppedTail {
+			t.Fatalf("clean run recovered with damage: %+v", info)
+		}
+		if got, want := recovered.Totals(), res.Store.Totals(); got != want {
+			t.Fatalf("recovered totals %+v != run totals %+v", got, want)
+		}
+		swapped := *res
+		swapped.Store = recovered
+		checkAgainstGolden(t, dir, goldenArtifacts(t, &swapped))
+	})
+
+	// The durable run above also pins that a recovered store merged with
+	// nothing equals a plain store: double-check one cross-path artifact
+	// digest so a future path can't silently diverge from another while
+	// both drift from the fixtures being -updated together.
+	t.Run("cross-path-identity", func(t *testing.T) {
+		cfg := goldenConfig()
+		cfg.Shards = 2
+		cfg.ChainCache = true
+		res, err := study.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := goldenArtifacts(t, res)
+		for name, data := range sequential {
+			if !bytes.Equal(got[name], data) {
+				t.Errorf("%s: shards+cache path differs from sequential path", name)
+			}
+		}
+	})
+}
+
+// TestGoldenRecoveredStoreIsLive pins that a store recovered from disk
+// is not a dead rendering copy: continued ingest equals continued ingest
+// on the original (the reportd restart scenario).
+func TestGoldenRecoveredStoreIsLive(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Scale = 0.002
+	cfg.DataDir = t.TempDir()
+	res, err := study.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, _, err := durable.Recover(durable.Options{Dir: cfg.DataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := res.Store.ProxiedRecords()
+	if len(extra) == 0 {
+		t.Fatal("fixture run retained no proxied records")
+	}
+	a, b := recovered, cloneViaSnapshot(t, res.Store)
+	for _, m := range extra {
+		a.Ingest(m)
+		b.Ingest(m)
+	}
+	if fmt.Sprintf("%+v", a.Totals()) != fmt.Sprintf("%+v", b.Totals()) ||
+		a.String() != b.String() {
+		t.Fatalf("post-recovery ingest diverged: %s vs %s", a.String(), b.String())
+	}
+}
+
+func cloneViaSnapshot(t *testing.T, db *store.DB) *store.DB {
+	t.Helper()
+	out, err := store.DecodeSnapshot(db.AppendSnapshot(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"crypto/x509"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"tlsfof/internal/classify"
+	"tlsfof/internal/hostdb"
+)
+
+// Binary codec for Measurement records, shared by the durable WAL
+// (internal/durable) and the store snapshot format (internal/store). It
+// follows the same uvarint framing idiom as the ingest upload wire
+// (internal/ingest): length-prefixed strings, varint integers, and bools
+// packed into one flag byte. The encoding round-trips every field, so a
+// replayed record aggregates identically to the original ingest.
+
+// Limits on one encoded measurement; hostile or corrupt inputs exist
+// (the WAL recovery path decodes bytes that survived a crash).
+const (
+	// MaxCodecStringLen bounds every string field (host names are <= 255
+	// by DNS; issuer strings in real chains run far shorter than this).
+	MaxCodecStringLen = 4096
+)
+
+// Observation bool flags, packed into one byte.
+const (
+	flagProxied = 1 << iota
+	flagNullIssuer
+	flagMD5Signed
+	flagWeakKey
+	flagUpgradedKey
+	flagIssuerCopied
+	flagSubjectDrift
+)
+
+// AppendMeasurement appends the binary encoding of m to dst and returns
+// the extended slice — the zero-realloc encoding path, mirroring
+// ingest.AppendReports.
+func AppendMeasurement(dst []byte, m Measurement) []byte {
+	dst = binary.AppendVarint(dst, m.Time.UnixNano())
+	dst = binary.AppendUvarint(dst, uint64(m.ClientIP))
+	dst = appendString(dst, m.Country)
+	dst = appendString(dst, m.Host)
+	dst = binary.AppendUvarint(dst, uint64(m.HostCategory))
+	dst = appendString(dst, m.Campaign)
+
+	o := m.Obs
+	var flags byte
+	if o.Proxied {
+		flags |= flagProxied
+	}
+	if o.NullIssuer {
+		flags |= flagNullIssuer
+	}
+	if o.MD5Signed {
+		flags |= flagMD5Signed
+	}
+	if o.WeakKey {
+		flags |= flagWeakKey
+	}
+	if o.UpgradedKey {
+		flags |= flagUpgradedKey
+	}
+	if o.IssuerCopied {
+		flags |= flagIssuerCopied
+	}
+	if o.SubjectDrift {
+		flags |= flagSubjectDrift
+	}
+	dst = append(dst, flags)
+	dst = appendString(dst, o.IssuerOrg)
+	dst = appendString(dst, o.IssuerCN)
+	dst = appendString(dst, o.IssuerOU)
+	dst = binary.AppendUvarint(dst, uint64(o.KeyBits))
+	dst = binary.AppendUvarint(dst, uint64(o.OriginalKeyBits))
+	dst = binary.AppendUvarint(dst, uint64(o.SigAlg))
+	dst = binary.AppendUvarint(dst, uint64(o.ChainLen))
+	dst = binary.AppendUvarint(dst, uint64(o.Category))
+	dst = appendString(dst, o.ProductName)
+	return dst
+}
+
+// DecodeMeasurement decodes one measurement from the front of b and
+// returns it with the unconsumed remainder. Times decode in UTC (the
+// encoding keeps wall-clock nanoseconds only), which every consumer —
+// table aggregation, the canonical merge order, CSV export — already
+// normalizes to.
+func DecodeMeasurement(b []byte) (Measurement, []byte, error) {
+	var m Measurement
+	nanos, b, err := readVarint(b, "time")
+	if err != nil {
+		return m, nil, err
+	}
+	m.Time = time.Unix(0, nanos).UTC()
+	ip, b, err := readUvarint(b, "client ip")
+	if err != nil {
+		return m, nil, err
+	}
+	if ip > 1<<32-1 {
+		return m, nil, fmt.Errorf("core: codec: client ip %d overflows uint32", ip)
+	}
+	m.ClientIP = uint32(ip)
+	if m.Country, b, err = readString(b, "country"); err != nil {
+		return m, nil, err
+	}
+	if m.Host, b, err = readString(b, "host"); err != nil {
+		return m, nil, err
+	}
+	hc, b, err := readUvarint(b, "host category")
+	if err != nil {
+		return m, nil, err
+	}
+	m.HostCategory = hostdb.Category(hc)
+	if m.Campaign, b, err = readString(b, "campaign"); err != nil {
+		return m, nil, err
+	}
+
+	if len(b) == 0 {
+		return m, nil, fmt.Errorf("core: codec: truncated before flags")
+	}
+	flags := b[0]
+	b = b[1:]
+	o := &m.Obs
+	o.Proxied = flags&flagProxied != 0
+	o.NullIssuer = flags&flagNullIssuer != 0
+	o.MD5Signed = flags&flagMD5Signed != 0
+	o.WeakKey = flags&flagWeakKey != 0
+	o.UpgradedKey = flags&flagUpgradedKey != 0
+	o.IssuerCopied = flags&flagIssuerCopied != 0
+	o.SubjectDrift = flags&flagSubjectDrift != 0
+
+	if o.IssuerOrg, b, err = readString(b, "issuer org"); err != nil {
+		return m, nil, err
+	}
+	if o.IssuerCN, b, err = readString(b, "issuer cn"); err != nil {
+		return m, nil, err
+	}
+	if o.IssuerOU, b, err = readString(b, "issuer ou"); err != nil {
+		return m, nil, err
+	}
+	var v uint64
+	if v, b, err = readUvarint(b, "key bits"); err != nil {
+		return m, nil, err
+	}
+	o.KeyBits = int(v)
+	if v, b, err = readUvarint(b, "original key bits"); err != nil {
+		return m, nil, err
+	}
+	o.OriginalKeyBits = int(v)
+	if v, b, err = readUvarint(b, "sig alg"); err != nil {
+		return m, nil, err
+	}
+	o.SigAlg = x509.SignatureAlgorithm(v)
+	if v, b, err = readUvarint(b, "chain len"); err != nil {
+		return m, nil, err
+	}
+	o.ChainLen = int(v)
+	if v, b, err = readUvarint(b, "category"); err != nil {
+		return m, nil, err
+	}
+	o.Category = classify.Category(v)
+	if o.ProductName, b, err = readString(b, "product"); err != nil {
+		return m, nil, err
+	}
+	return m, b, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readUvarint(b []byte, field string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("core: codec: truncated %s", field)
+	}
+	return v, b[n:], nil
+}
+
+func readVarint(b []byte, field string) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("core: codec: truncated %s", field)
+	}
+	return v, b[n:], nil
+}
+
+func readString(b []byte, field string) (string, []byte, error) {
+	n, b, err := readUvarint(b, field)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > MaxCodecStringLen {
+		return "", nil, fmt.Errorf("core: codec: %s of %d bytes exceeds %d", field, n, MaxCodecStringLen)
+	}
+	if uint64(len(b)) < n {
+		return "", nil, fmt.Errorf("core: codec: truncated %s", field)
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -239,13 +239,8 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 	n, err := c.Conn.Read(p[:limit])
 	if n > 0 {
-		if every := c.sc.CorruptReadEvery; every > 0 {
-			for i := 0; i < n; i++ {
-				if (c.rdOff+i+1)%every == 0 {
-					p[i] ^= c.mask
-					c.stats.add(&c.stats.CorruptBytes, 1)
-				}
-			}
+		if hit := CorruptEvery(p[:n], c.rdOff, c.sc.CorruptReadEvery, c.mask); hit > 0 {
+			c.stats.add(&c.stats.CorruptBytes, uint64(hit))
 		}
 		c.rdOff += n
 		c.stats.add(&c.stats.BytesRead, uint64(n))
@@ -256,6 +251,26 @@ func (c *Conn) Read(p []byte) (int, error) {
 		c.kill()
 	}
 	return n, err
+}
+
+// CorruptEvery XORs mask into every byte of b whose 1-based stream
+// offset is a multiple of every, where off is the stream offset of b[0].
+// It returns how many bytes it flipped. This is the seeded corruption
+// primitive behind Scenario.CorruptReadEvery, exported so other layers
+// can inject byte-identical damage — the durable WAL's crash matrix runs
+// it over segment files to model media corruption.
+func CorruptEvery(b []byte, off, every int, mask byte) int {
+	if every <= 0 {
+		return 0
+	}
+	hit := 0
+	for i := range b {
+		if (off+i+1)%every == 0 {
+			b[i] ^= mask
+			hit++
+		}
+	}
+	return hit
 }
 
 // kill fires the scheduled truncation or reset exactly at its boundary

@@ -1,12 +1,16 @@
 package ingest
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tlsfof/internal/core"
+	"tlsfof/internal/durable"
 	"tlsfof/internal/store"
 )
 
@@ -50,6 +54,32 @@ type Config struct {
 	// alternate backends). The default builds one store.DB per shard;
 	// with an override Stores and Merge see no databases.
 	Sinks func(shard int) BatchSink
+
+	// WALDir, honored by OpenPipeline, roots one durable WAL per shard
+	// (shard-%03d subdirectories, internal/durable). Each batch is
+	// appended to its shard's WAL before it reaches the shard store, so
+	// every delivered measurement survives the process; OpenPipeline
+	// recovers the shard stores from disk on boot. Incompatible with a
+	// Sinks override (there is no store to recover into).
+	WALDir string
+	// WALSegmentBytes, WALSyncEvery, WALSyncEachAppend configure the
+	// shard logs (durable defaults when zero). Appends never fsync on
+	// the hot path unless WALSyncEachAppend is set; a background syncer
+	// per shard makes frames durable on the WALSyncEvery cadence.
+	WALSegmentBytes   int64
+	WALSyncEvery      time.Duration
+	WALSyncEachAppend bool
+}
+
+// walOptions builds the per-shard durable options.
+func (cfg Config) walOptions(shard int) durable.Options {
+	return durable.Options{
+		Dir:            filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%03d", shard)),
+		SegmentBytes:   cfg.WALSegmentBytes,
+		SyncEvery:      cfg.WALSyncEvery,
+		SyncEachAppend: cfg.WALSyncEachAppend,
+		Retain:         cfg.Retain,
+	}
 }
 
 // ShardStats is one shard's ingest accounting.
@@ -65,20 +95,25 @@ type ShardStats struct {
 	Batches uint64
 	// Queue is the instantaneous queue length in batches.
 	Queue int
+	// WALErrors counts measurements whose write-ahead append failed
+	// (they still reached the store: availability over durability).
+	WALErrors uint64
 }
 
 // Stats is a point-in-time snapshot of pipeline accounting.
 type Stats struct {
 	Shards []ShardStats
-	// Enqueued, Ingested, Dropped are sums over shards.
-	Enqueued uint64
-	Ingested uint64
-	Dropped  uint64
+	// Enqueued, Ingested, Dropped, WALErrors are sums over shards.
+	Enqueued  uint64
+	Ingested  uint64
+	Dropped   uint64
+	WALErrors uint64
 }
 
 type shard struct {
 	sink BatchSink
-	db   *store.DB // nil when Config.Sinks overrides
+	db   *store.DB    // nil when Config.Sinks overrides
+	wal  *durable.Log // nil without Config.WALDir
 	ch   chan []core.Measurement
 
 	mu      sync.Mutex
@@ -88,6 +123,7 @@ type shard struct {
 	ingested atomic.Uint64
 	dropped  atomic.Uint64
 	batches  atomic.Uint64
+	walErrs  atomic.Uint64
 }
 
 // Pipeline is the sharded ingest data plane. It is both a core.Sink (one
@@ -103,8 +139,29 @@ type Pipeline struct {
 }
 
 // NewPipeline builds the shard stores (or custom sinks), starts one worker
-// goroutine per shard, and returns the running pipeline.
+// goroutine per shard, and returns the running pipeline. Config.WALDir is
+// ignored here — use OpenPipeline for the durable path.
 func NewPipeline(cfg Config) *Pipeline {
+	cfg.WALDir = ""
+	p, _, err := openPipeline(cfg)
+	if err != nil {
+		// Unreachable: every error path requires a WALDir.
+		panic(err)
+	}
+	return p
+}
+
+// OpenPipeline is NewPipeline plus the persistence plane: with
+// Config.WALDir set it recovers each shard store from its WAL directory
+// (snapshot + surviving tail) before starting the workers, and returns
+// the per-shard recovery reports. Shard count is pinned by a manifest in
+// WALDir — the hash partition must not move between runs, or replayed
+// aggregates would land on the wrong shard's WAL.
+func OpenPipeline(cfg Config) (*Pipeline, []durable.Info, error) {
+	return openPipeline(cfg)
+}
+
+func openPipeline(cfg Config) (*Pipeline, []durable.Info, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
@@ -119,25 +176,94 @@ func NewPipeline(cfg Config) *Pipeline {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.WALDir != "" && cfg.Sinks != nil {
+		return nil, nil, fmt.Errorf("ingest: WALDir is incompatible with a Sinks override")
+	}
+	var infos []durable.Info
+	if cfg.WALDir != "" {
+		if err := checkShardManifest(cfg.WALDir, cfg.Shards); err != nil {
+			return nil, nil, err
+		}
+	}
 	p := &Pipeline{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range p.shards {
 		sh := &shard{ch: make(chan []core.Measurement, cfg.QueueDepth)}
-		if cfg.Sinks != nil {
+		switch {
+		case cfg.Sinks != nil:
 			sh.sink = cfg.Sinks(i)
-		} else {
+		case cfg.WALDir != "":
+			// Recover walks the shard's snapshot + segments to rebuild
+			// the store; Open walks the segments again to find its append
+			// point and repair any torn tail. Boot therefore reads the
+			// WAL twice — acceptable because checkpoints keep the segment
+			// tail small (a clean shutdown leaves a single snapshot and
+			// no segments at all).
+			opt := cfg.walOptions(i)
+			db, info, err := durable.Recover(opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			wal, err := durable.Open(opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			sh.db, sh.wal, sh.sink = db, wal, db
+			infos = append(infos, info)
+		default:
 			sh.db = store.New(cfg.Retain)
 			sh.sink = sh.db // store.DB batch-ingests natively
 		}
 		p.shards[i] = sh
+	}
+	for _, sh := range p.shards {
 		p.wg.Add(1)
 		go p.work(sh)
 	}
-	return p
+	return p, infos, nil
+}
+
+// shardManifest pins the WAL directory to one shard layout.
+type shardManifest struct {
+	Shards int `json:"shards"`
+}
+
+func checkShardManifest(dir string, shards int) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	path := filepath.Join(dir, "manifest.json")
+	b, err := os.ReadFile(path)
+	if err == nil {
+		var m shardManifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return fmt.Errorf("ingest: %s: %w", path, err)
+		}
+		if m.Shards != shards {
+			return fmt.Errorf("ingest: %s was written with %d shards, refusing to open with %d (the hash partition would move)", dir, m.Shards, shards)
+		}
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	b, _ = json.Marshal(shardManifest{Shards: shards})
+	if err := os.WriteFile(path, append(b, '\n'), 0o666); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	return nil
 }
 
 func (p *Pipeline) work(sh *shard) {
 	defer p.wg.Done()
 	for batch := range sh.ch {
+		if sh.wal != nil {
+			// Write-ahead: the batch hits the WAL before the store, so
+			// anything visible in a merge/table is also on its way to
+			// disk. Append errors degrade durability, never availability.
+			if err := sh.wal.AppendBatch(batch); err != nil {
+				sh.walErrs.Add(uint64(len(batch)))
+			}
+		}
 		sh.sink.IngestBatch(batch)
 		sh.ingested.Add(uint64(len(batch)))
 		sh.batches.Add(1)
@@ -270,18 +396,57 @@ func (p *Pipeline) Drain() {
 	}
 }
 
-// Close flushes pending batches, stops the shard workers, and waits for
-// the queues to drain. It must be called exactly once, after every
-// producer has stopped; Ingest after Close panics.
-func (p *Pipeline) Close() {
+// Close flushes pending batches, stops the shard workers, waits for the
+// queues to drain, and closes the shard WALs (final fsync). It must be
+// called exactly once, after every producer has stopped; Ingest after
+// Close panics. The returned error is the first WAL close failure (nil
+// without WALs).
+func (p *Pipeline) Close() error {
 	if !p.closed.CompareAndSwap(false, true) {
-		return
+		return nil
 	}
 	p.Flush()
 	for _, sh := range p.shards {
 		close(sh.ch)
 	}
 	p.wg.Wait()
+	var first error
+	for _, sh := range p.shards {
+		if sh.wal != nil {
+			if err := sh.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Checkpoint seals and compacts every shard WAL: each shard's appended
+// frames fold into its snapshot and the covered segments are deleted,
+// bounding disk while the pipeline keeps serving. Call it on a timer
+// (reportd's -snapshot-every) or before shutdown.
+func (p *Pipeline) Checkpoint() error {
+	var first error
+	for _, sh := range p.shards {
+		if sh.wal == nil {
+			continue
+		}
+		if _, err := sh.wal.Checkpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WALStats returns per-shard durable accounting (nil without WALs).
+func (p *Pipeline) WALStats() []durable.Stats {
+	var out []durable.Stats
+	for _, sh := range p.shards {
+		if sh.wal != nil {
+			out = append(out, sh.wal.Stats())
+		}
+	}
+	return out
 }
 
 // Stores returns the per-shard databases (nil entries under a Sinks
@@ -306,16 +471,18 @@ func (p *Pipeline) Stats() Stats {
 	s := Stats{Shards: make([]ShardStats, len(p.shards))}
 	for i, sh := range p.shards {
 		ss := ShardStats{
-			Enqueued: sh.enqueued.Load(),
-			Ingested: sh.ingested.Load(),
-			Dropped:  sh.dropped.Load(),
-			Batches:  sh.batches.Load(),
-			Queue:    len(sh.ch),
+			Enqueued:  sh.enqueued.Load(),
+			Ingested:  sh.ingested.Load(),
+			Dropped:   sh.dropped.Load(),
+			Batches:   sh.batches.Load(),
+			Queue:     len(sh.ch),
+			WALErrors: sh.walErrs.Load(),
 		}
 		s.Shards[i] = ss
 		s.Enqueued += ss.Enqueued
 		s.Ingested += ss.Ingested
 		s.Dropped += ss.Dropped
+		s.WALErrors += ss.WALErrors
 	}
 	return s
 }

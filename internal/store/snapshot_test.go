@@ -1,0 +1,158 @@
+package store
+
+import (
+	"crypto/x509"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tlsfof/internal/classify"
+	"tlsfof/internal/core"
+	"tlsfof/internal/hostdb"
+	"tlsfof/internal/stats"
+)
+
+// syntheticStream builds a deterministic, varied measurement stream:
+// multiple countries, hosts, campaigns, products, issuer shapes, and the
+// full set of §5.2 negligence behaviors.
+func syntheticStream(n int, seed uint64) []core.Measurement {
+	r := stats.NewRNG(seed)
+	countries := []string{"US", "BR", "IN", "DE", "??", "JP"}
+	hosts := []struct {
+		name string
+		cat  hostdb.Category
+	}{
+		{"www.facebook.com", hostdb.Popular},
+		{"mybank.example", hostdb.Business},
+		{"tlsresearch.byu.edu", hostdb.Popular},
+	}
+	campaigns := []string{"broad", "targeted-br", ""}
+	products := []struct{ org, cn, product string }{
+		{"Fortinet", "FortiGate CA", "FortiGate"},
+		{"Sophos", "Sophos SSL", "Sophos UTM"},
+		{"", "PSafe Tecnologia S.A.", "PSafe"},
+		{"", "", ""}, // null issuer
+	}
+	epoch := time.Date(2014, time.January, 6, 0, 0, 0, 0, time.UTC)
+	ms := make([]core.Measurement, 0, n)
+	for i := 0; i < n; i++ {
+		h := hosts[r.Intn(len(hosts))]
+		m := core.Measurement{
+			Time:         epoch.Add(time.Duration(i) * time.Minute),
+			ClientIP:     uint32(r.Uint64()>>16) | 1,
+			Country:      countries[r.Intn(len(countries))],
+			Host:         h.name,
+			HostCategory: h.cat,
+			Campaign:     campaigns[r.Intn(len(campaigns))],
+		}
+		if r.Bool(0.3) {
+			p := products[r.Intn(len(products))]
+			bits := []int{512, 1024, 2048, 2432}[r.Intn(4)]
+			m.Obs = core.Observation{
+				Proxied:      true,
+				IssuerOrg:    p.org,
+				IssuerCN:     p.cn,
+				ProductName:  p.product,
+				KeyBits:      bits,
+				WeakKey:      bits < 2048,
+				UpgradedKey:  bits == 2432,
+				MD5Signed:    r.Bool(0.2),
+				IssuerCopied: r.Bool(0.1),
+				SubjectDrift: r.Bool(0.1),
+				NullIssuer:   p.org == "" && p.cn == "",
+				SigAlg:       x509.SHA256WithRSA,
+				ChainLen:     1 + r.Intn(3),
+				Category:     classify.Category(r.Intn(5)),
+			}
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// renderStore summarizes every store-derived artifact into one string.
+func renderStore(t *testing.T, db *DB) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%+v\n", db.Totals())
+	for _, row := range db.ByCountry(OrderByProxied) {
+		fmt.Fprintf(&b, "%+v\n", row)
+	}
+	fmt.Fprintf(&b, "%v\n", db.ByHostCategory())
+	fmt.Fprintf(&b, "%v\n", db.ByCampaign())
+	fmt.Fprintf(&b, "%v\n", db.IssuerOrgTop(0))
+	fmt.Fprintf(&b, "%d\n", db.DistinctIssuerOrgs())
+	fmt.Fprintf(&b, "%v\n", db.CategoryCounts())
+	fmt.Fprintf(&b, "%+v\n", db.Negligence())
+	fmt.Fprintf(&b, "%+v\n", db.Products())
+	fmt.Fprintf(&b, "%d %d\n", db.DistinctProxiedIPs(), db.ProxiedCountryCount())
+	var csv strings.Builder
+	if err := db.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(csv.String())
+	return b.String()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, retain := range []int{0, 7} {
+		db := New(retain)
+		for _, m := range syntheticStream(500, 7) {
+			db.Ingest(m)
+		}
+		img := db.AppendSnapshot(nil)
+		back, err := DecodeSnapshot(img)
+		if err != nil {
+			t.Fatalf("retain=%d: %v", retain, err)
+		}
+		if got, want := renderStore(t, back), renderStore(t, db); got != want {
+			t.Fatalf("retain=%d: decoded snapshot renders differently\n got: %s\nwant: %s", retain, got, want)
+		}
+		// A decoded store must stay live: ingest after decode matches
+		// ingest into the original.
+		extra := syntheticStream(100, 8)
+		for _, m := range extra {
+			db.Ingest(m)
+			back.Ingest(m)
+		}
+		if got, want := renderStore(t, back), renderStore(t, db); got != want {
+			t.Fatalf("retain=%d: post-decode ingest diverged", retain)
+		}
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	db := New(0)
+	back, err := DecodeSnapshot(db.AppendSnapshot(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderStore(t, back), renderStore(t, db); got != want {
+		t.Fatalf("empty store round trip differs")
+	}
+}
+
+func TestSnapshotRejectsDamage(t *testing.T) {
+	db := New(0)
+	for _, m := range syntheticStream(50, 9) {
+		db.Ingest(m)
+	}
+	img := db.AppendSnapshot(nil)
+	if _, err := DecodeSnapshot(nil); err == nil {
+		t.Fatal("empty image decoded")
+	}
+	for cut := 0; cut < len(img); cut += 7 {
+		if _, err := DecodeSnapshot(img[:cut]); err == nil {
+			t.Fatalf("truncated image (%d/%d bytes) decoded", cut, len(img))
+		}
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] ^= 0xFF // version byte
+	if _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatal("bad version decoded")
+	}
+	if _, err := DecodeSnapshot(append(img, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package study
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"tlsfof/internal/classify"
 	"tlsfof/internal/clientpop"
 	"tlsfof/internal/core"
+	"tlsfof/internal/durable"
 	"tlsfof/internal/geo"
 	"tlsfof/internal/hostdb"
 	"tlsfof/internal/ingest"
@@ -47,6 +49,22 @@ type Config struct {
 	// either way (the cache key covers every Observe input); the
 	// equivalence test in chaincache_equiv_test.go pins that.
 	ChainCache bool
+	// DataDir enables the durable plane (internal/durable): every
+	// generated measurement is appended to a WAL here before it reaches
+	// the store, and a rerun over a directory holding an interrupted
+	// run's WAL resumes it — recovered measurements merge into the final
+	// store and generation skips what is already durable. The directory
+	// is pinned to (study, seed, scale) by a manifest. See durable.go.
+	DataDir string
+	// SnapshotEvery checkpoints the WAL (fold into a snapshot, delete
+	// covered segments) every N appended measurements, bounding disk
+	// during paper-scale runs; 0 checkpoints only at successful
+	// completion. Only meaningful with DataDir.
+	SnapshotEvery int
+	// AbortAfter stops the run with ErrAborted once N measurements have
+	// been appended to the WAL — deterministic crash injection for the
+	// resume-equivalence tests and recovery drills. 0 = disabled.
+	AbortAfter int
 }
 
 // Result is a completed study run.
@@ -67,6 +85,9 @@ type Result struct {
 	// ChainCacheStats holds the observation-memo accounting when the run
 	// used Config.ChainCache (nil otherwise).
 	ChainCacheStats *chaincache.Stats
+	// Resume holds the durable-plane accounting when the run used
+	// Config.DataDir (nil otherwise).
+	Resume *ResumeInfo
 }
 
 // studyEpoch anchors synthetic measurement timestamps: the first study
@@ -138,6 +159,48 @@ func Run(cfg Config) (*Result, error) {
 		deps: deps, epoch: epoch,
 	}
 
+	// Durable plane: recover whatever a previous run left in DataDir,
+	// derive per-campaign skip counts, and open the WAL for appending.
+	var ctl *walControl
+	var recovered *store.DB
+	var resume *ResumeInfo
+	skips := map[string]int{}
+	if cfg.DataDir != "" {
+		if err := checkStudyManifest(cfg); err != nil {
+			return nil, err
+		}
+		opts := durable.Options{Dir: cfg.DataDir}
+		rec, info, err := durable.Recover(opts)
+		if err != nil {
+			return nil, err
+		}
+		resume = &ResumeInfo{Recovered: int(info.LastSeq), Info: info}
+		if info.LastSeq > 0 {
+			recovered = rec
+			for name, agg := range rec.ByCampaign() {
+				skips[name] = agg.Tested
+			}
+		}
+		wal, err := durable.Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		ctl = &walControl{wal: wal, abortAfter: int64(cfg.AbortAfter), snapshotEvery: int64(cfg.SnapshotEvery)}
+		defer wal.Close()
+	}
+	// wrap interposes the write-ahead tee between a campaign generator
+	// and its sink; without DataDir it is the identity.
+	wrap := func(sink core.Sink) core.Sink {
+		if ctl == nil {
+			return sink
+		}
+		return walTee{ctl: ctl, next: sink}
+	}
+	var stop func() bool
+	if ctl != nil {
+		stop = ctl.stop
+	}
+
 	var db *store.DB
 	var ingestStats *ingest.Stats
 	if cfg.Shards > 1 {
@@ -161,7 +224,7 @@ func Run(cfg Config) (*Result, error) {
 			go func(ci int) {
 				defer wg.Done()
 				b := ingest.NewBatcher(pl, cfg.IngestBatch)
-				err := gen.run(campaigns[ci], outcomes[ci], crs[ci], b)
+				err := gen.run(campaigns[ci], outcomes[ci], crs[ci], wrap(b), skips[campaigns[ci].Name], stop)
 				b.Flush()
 				if err != nil {
 					mu.Lock()
@@ -174,18 +237,55 @@ func Run(cfg Config) (*Result, error) {
 		}
 		wg.Wait()
 		pl.Close()
-		if firstErr != nil {
+		if firstErr != nil && !errors.Is(firstErr, errStopped) {
 			return nil, firstErr
 		}
-		db = pl.Merge(cfg.RetainProxied)
+		// Shards retain all records; the deterministic cap happens in the
+		// final merge (with the recovered store folded in below).
+		retain := cfg.RetainProxied
+		if recovered != nil {
+			retain = 0
+		}
+		db = pl.Merge(retain)
 		st := pl.Stats()
 		ingestStats = &st
 	} else {
 		db = store.New(cfg.RetainProxied)
 		for ci := range campaigns {
-			if err := gen.run(campaigns[ci], outcomes[ci], crs[ci], db); err != nil {
+			err := gen.run(campaigns[ci], outcomes[ci], crs[ci], wrap(db), skips[campaigns[ci].Name], stop)
+			if err != nil {
+				if errors.Is(err, errStopped) {
+					break
+				}
 				return nil, err
 			}
+		}
+	}
+
+	if ctl != nil {
+		if err := ctl.firstErr(); err != nil {
+			return nil, err
+		}
+		if ctl.stop() {
+			// Crash injection: sync what made it to the WAL and report
+			// the abort; a rerun with the same DataDir resumes here.
+			if err := ctl.wal.Close(); err != nil {
+				return nil, err
+			}
+			return nil, ErrAborted
+		}
+		if recovered != nil {
+			db = store.Merge(cfg.RetainProxied, recovered, db)
+		}
+		resume.WAL = ctl.wal.Stats()
+		if err := ctl.wal.Close(); err != nil {
+			return nil, err
+		}
+		// Completion checkpoint: collapse the directory to one snapshot
+		// so the next boot (or a rerun, which will skip everything)
+		// recovers with a single decode.
+		if _, err := durable.Snapshot(durable.Options{Dir: cfg.DataDir}); err != nil {
+			return nil, err
 		}
 	}
 
@@ -201,6 +301,7 @@ func Run(cfg Config) (*Result, error) {
 		Duration:    time.Since(wall),
 		StartedAt:   wall,
 		IngestStats: ingestStats,
+		Resume:      resume,
 	}
 	if factory.cache != nil {
 		st := factory.cache.Stats()
@@ -223,10 +324,20 @@ type campaignGen struct {
 
 // run synthesizes one campaign's measurements from its private RNG stream
 // and delivers them to sink in impression order.
-func (g *campaignGen) run(campaign adsim.Campaign, outcome adsim.Outcome, cr *stats.RNG, sink core.Sink) error {
+//
+// skip suppresses delivery (and observation derivation) of the first
+// skip measurements while still consuming the RNG draws that produce
+// them — the resume fast-forward: a rerun burns through what a previous
+// run already made durable and continues generating exactly where it
+// stopped, on the identical random stream. stop (when non-nil) is
+// polled per impression and aborts generation with errStopped.
+func (g *campaignGen) run(campaign adsim.Campaign, outcome adsim.Outcome, cr *stats.RNG, sink core.Sink, skip int, stop func() bool) error {
 	n := int(float64(outcome.Impressions) * g.cfg.Scale)
 	window := time.Duration(campaign.Days) * 24 * time.Hour
 	for i := 0; i < n; i++ {
+		if stop != nil && stop() {
+			return errStopped
+		}
 		country := campaign.TargetCountry
 		if country == "" {
 			country = g.pop.SampleGlobalCountry(cr)
@@ -247,6 +358,13 @@ func (g *campaignGen) run(campaign adsim.Campaign, outcome adsim.Outcome, cr *st
 				ip = g.pop.ClientIP(cr, country)
 				ipSet = true
 				when = g.epoch.Add(time.Duration(float64(window) * float64(i) / float64(n+1)))
+			}
+			if skip > 0 {
+				// Already durable from the interrupted run: every random
+				// draw above still happened, only derivation + delivery
+				// are elided.
+				skip--
+				continue
 			}
 			var obs core.Observation
 			var err error
