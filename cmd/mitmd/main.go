@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
@@ -36,6 +37,7 @@ import (
 	"tlsfof/internal/classify"
 	"tlsfof/internal/faultnet"
 	"tlsfof/internal/proxyengine"
+	"tlsfof/internal/telemetry"
 )
 
 // server wraps an Interceptor with the operational machinery a
@@ -174,6 +176,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// Telemetry plane: registry + tracer feed /metrics and /trace; the
+	// event ring keeps the last structured events for post-mortem dumps
+	// on panic or SIGTERM.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(reg, 0)
+	ring := telemetry.NewEventRing(0)
+	slog.SetDefault(slog.New(telemetry.Tee(
+		slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}), ring)))
+	defer telemetry.DumpOnPanic(ring, os.Stderr)
+
 	if *pprofAddr != "" {
 		// pprof registers on http.DefaultServeMux; the stats mux below is
 		// separate, so profiling stays on its own listener.
@@ -245,6 +257,7 @@ func main() {
 	ic := proxyengine.NewInterceptor(engine, func(host string) (net.Conn, error) {
 		return net.Dial("tcp", *upstream)
 	})
+	ic.Tracer = tracer
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mitmd: %v\n", err)
@@ -271,12 +284,21 @@ func main() {
 		start:       time.Now(),
 	}
 
+	// Bridge the per-process counters into the registry so the Prometheus
+	// view has them natively alongside the stage histograms.
+	reg.GaugeFunc("conns_accepted_total", "connections accepted", func() float64 { return float64(srv.accepted.Load()) })
+	reg.GaugeFunc("conns_handled_total", "connections handled cleanly", func() float64 { return float64(srv.handled.Load()) })
+	reg.GaugeFunc("conns_errored_total", "connections ending in error", func() float64 { return float64(srv.errored.Load()) })
+	reg.GaugeFunc("conns_active", "connections in flight", func() float64 { return float64(srv.active.Load()) })
+	reg.GaugeFunc("forge_cache_size", "forged-chain cache occupancy", func() float64 { return float64(engine.CacheStats().Size) })
+
 	if *statsAddr != "" {
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(srv.metrics())
-		})
+		// One exposition handler serves both formats: the legacy JSON
+		// document keeps its field names; ?format=prometheus renders the
+		// registry as Prometheus text.
+		mux.Handle("/metrics", telemetry.Handler(reg, func() any { return srv.metrics() }))
+		mux.Handle("/trace", tracer.Handler())
 		statsLn, err := net.Listen("tcp", *statsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mitmd: stats listener: %v\n", err)
@@ -289,17 +311,25 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sig
+		s := <-sig
 		fmt.Fprintln(os.Stderr, "mitmd: draining...")
+		if s == syscall.SIGTERM {
+			// Post-mortem trail for operator-initiated kills.
+			ring.Dump(os.Stderr)
+		}
 		close(srv.quit)
 		ln.Close()
 	}()
 
 	fmt.Printf("mitmd: intercepting on %s → %s as %q (max %d conns, cache %d hosts)\n",
 		ln.Addr(), *upstream, profile.ProductName, *maxConns, *cacheCap)
-	var onErr func(error)
-	if *verbose {
-		onErr = func(err error) { fmt.Fprintf(os.Stderr, "mitmd: %v\n", err) }
+	// Connection errors always reach the event ring (the Tee records
+	// below the stderr handler's level); -v additionally prints them.
+	onErr := func(err error) {
+		slog.Debug("connection error", "err", err)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "mitmd: %v\n", err)
+		}
 	}
 	srv.serve(ln, onErr)
 

@@ -24,11 +24,13 @@ package main
 
 import (
 	"context"
+	"crypto/x509/pkix"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"tlsfof/internal/analysis"
+	"tlsfof/internal/certgen"
 	"tlsfof/internal/chaincache"
 	"tlsfof/internal/classify"
 	"tlsfof/internal/core"
@@ -47,6 +50,7 @@ import (
 	"tlsfof/internal/geo"
 	"tlsfof/internal/ingest"
 	"tlsfof/internal/store"
+	"tlsfof/internal/telemetry"
 	"tlsfof/internal/x509util"
 )
 
@@ -80,6 +84,13 @@ type server struct {
 	ln       net.Listener
 	recovery []durable.Info
 	started  time.Time
+
+	// The telemetry plane: stage histograms and probe traces from the
+	// decode → observe → queue → WAL → store path, the ingest accounting
+	// bridged as gauges, and a structured-event ring dumped at shutdown.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	ring   *telemetry.EventRing
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -92,11 +103,14 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.shards <= 0 {
 		cfg.shards = 1 // keep the shutdown snapshot loop in step with the pipeline's own clamp
 	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(reg, 0)
 	pcfg := ingest.Config{
 		Shards:     cfg.shards,
 		BatchSize:  cfg.batch,
 		QueueDepth: cfg.queue,
 		Block:      true, // reports are precious: backpressure, never drop
+		Tracer:     tracer,
 	}
 	if cfg.dataDir != "" {
 		pcfg.WALDir = cfg.dataDir
@@ -105,8 +119,10 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	pipeline.MountMetrics(reg)
 	col := core.NewCollector(classify.NewClassifier(), geo.NewDB(), pipeline)
 	col.Campaign = cfg.campaign
+	col.Tracer = tracer
 	if cfg.obsCache > 0 {
 		// The hot-path memo: repeated (host, chain) pairs — the paper's
 		// whole point is that a handful of products dominate — skip chain
@@ -117,7 +133,10 @@ func newServer(cfg serverConfig) (*server, error) {
 		col.SetAuthoritative(ref.host, ref.chain)
 		fmt.Fprintf(cfg.logw, "reportd: registered authoritative chain for %s (%d certs)\n", ref.host, len(ref.chain))
 	}
-	s := &server{cfg: cfg, pipeline: pipeline, col: col, recovery: recovery, started: time.Now()}
+	s := &server{
+		cfg: cfg, pipeline: pipeline, col: col, recovery: recovery, started: time.Now(),
+		reg: reg, tracer: tracer, ring: telemetry.NewEventRing(0),
+	}
 	for i, info := range recovery {
 		if info.LastSeq > 0 || info.DroppedTail {
 			fmt.Fprintf(cfg.logw, "reportd: shard %d recovered %d measurements (snapshot seq %d, %d replayed)%s\n",
@@ -194,10 +213,12 @@ func (s *server) mux() *http.ServeMux {
 	mux.Handle("/report", s.col)
 	mux.Handle("/ingest/batch", ingest.BatchHandler(s.col))
 	mux.Handle("/ingest/stats", ingest.StatsHandler(s.pipeline))
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.metrics())
-	})
+	// One exposition handler serves both formats: the legacy JSON keys
+	// (uptime_seconds, ingest, wal, wal_totals, cache) survive verbatim,
+	// the registry rides along under "telemetry", and ?format=prometheus
+	// renders everything as Prometheus text.
+	mux.Handle("/metrics", telemetry.Handler(s.reg, func() any { return s.metrics() }))
+	mux.Handle("/trace", s.tracer.Handler())
 	mux.HandleFunc("/cache/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if s.col.Cache == nil {
@@ -303,6 +324,10 @@ func (s *server) serve(sig <-chan os.Signal) error {
 					}
 				}
 			}
+			if got == syscall.SIGTERM {
+				// Post-mortem trail for operator-initiated kills.
+				s.ring.Dump(s.cfg.logw)
+			}
 			fmt.Fprintf(s.cfg.logw, "reportd: shutdown complete (%s)\n", s.summaryClosed())
 			return err
 		}
@@ -338,6 +363,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable per-shard WAL + snapshot directory (recovered on boot; graceful shutdown snapshots)")
 		snapEvery = flag.Duration("snapshot-every", 0, "checkpoint the WALs on this cadence (e.g. 5m; 0 = only at shutdown; with -data-dir)")
 		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (disabled when empty)")
+		selfRef   = flag.String("selfsigned", "", "generate an in-process self-signed authoritative chain for this host (smoke tests / CI; no PEM files needed)")
 	)
 	flag.Parse()
 
@@ -363,6 +389,21 @@ func main() {
 	}
 	var refs []hostChain
 	switch {
+	case *selfRef != "":
+		// CI and smoke tests boot reportd with no out-of-band PEM: mint a
+		// throwaway CA and leaf for the named host in-process.
+		ca, err := certgen.NewRootCA(certgen.CAConfig{
+			Subject: pkix.Name{CommonName: "reportd selfsigned", Organization: []string{"tlsfof"}},
+			KeyBits: 1024,
+		})
+		if err != nil {
+			fatalf("selfsigned CA: %v", err)
+		}
+		leaf, err := ca.IssueLeaf(certgen.LeafConfig{CommonName: *selfRef, KeyBits: 1024})
+		if err != nil {
+			fatalf("selfsigned leaf: %v", err)
+		}
+		refs = append(refs, hostChain{host: *selfRef, chain: leaf.ChainDER})
 	case *host != "" && *refPath != "":
 		refs = append(refs, loadRef(*host, *refPath))
 	case *refDir != "":
@@ -377,7 +418,7 @@ func main() {
 			refs = append(refs, loadRef(strings.TrimSuffix(e.Name(), ".pem"), filepath.Join(*refDir, e.Name())))
 		}
 	default:
-		fatalf("need -host + -reference, or -refdir")
+		fatalf("need -host + -reference, -refdir, or -selfsigned")
 	}
 
 	srv, err := newServer(serverConfig{
@@ -395,6 +436,11 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// Route structured events through the post-mortem ring; warnings and
+	// errors still reach stderr immediately.
+	slog.SetDefault(slog.New(telemetry.Tee(
+		slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}), srv.ring)))
+	defer telemetry.DumpOnPanic(srv.ring, os.Stderr)
 	if err := srv.start(); err != nil {
 		fatalf("%v", err)
 	}

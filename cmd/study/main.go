@@ -17,8 +17,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"tlsfof"
+	"tlsfof/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable WAL + checkpoint directory: an interrupted run rerun with the same flags resumes instead of restarting")
 		snapEvery = flag.Int("snapshot-every", 0, "checkpoint the WAL every N measurements (0 = only at completion; with -data-dir)")
 		abortAt   = flag.Int("abort-after", 0, "crash injection: abort the run after N durable measurements (exit 3; resume with the same -data-dir)")
+		progress  = flag.Duration("progress", 0, "print a progress/throughput line to stderr every interval, e.g. 5s (0 = off)")
 	)
 	flag.Parse()
 
@@ -71,8 +75,41 @@ func main() {
 		}
 	}
 
+	// The progress reporter rides the same telemetry registry every other
+	// binary exposes: the study run counts measurements into it and a
+	// ticker goroutine turns counter deltas into throughput lines.
+	stopProgress := func() {}
+	if *progress > 0 {
+		reg := telemetry.NewRegistry()
+		cfg.Metrics = reg
+		meas := reg.Counter("study_measurements_total", "")
+		campaigns := reg.Counter("study_campaigns_done_total", "")
+		done := make(chan struct{})
+		var once sync.Once
+		stopProgress = func() { once.Do(func() { close(done) }) }
+		go func() {
+			tick := time.NewTicker(*progress)
+			defer tick.Stop()
+			start := time.Now()
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					cur := meas.Value()
+					fmt.Fprintf(os.Stderr, "progress: %d measurements (+%d, %.0f/s), %d campaigns done, %v elapsed\n",
+						cur, cur-last, float64(cur-last)/progress.Seconds(),
+						campaigns.Value(), time.Since(start).Round(time.Second))
+					last = cur
+				}
+			}
+		}()
+	}
+
 	fmt.Fprintf(os.Stderr, "running %s study (seed=%d scale=%g)...\n", *studyName, *seed, *scale)
 	res, err := tlsfof.RunStudy(cfg)
+	stopProgress()
 	if errors.Is(err, tlsfof.ErrStudyAborted) {
 		fmt.Fprintf(os.Stderr, "study: %v\n", err)
 		os.Exit(3)

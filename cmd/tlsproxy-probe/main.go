@@ -35,6 +35,7 @@ import (
 	"tlsfof"
 	"tlsfof/internal/faultnet"
 	"tlsfof/internal/ingest"
+	"tlsfof/internal/telemetry"
 	"tlsfof/internal/tlswire"
 )
 
@@ -57,6 +58,9 @@ func main() {
 		faultIn    = flag.String("fault-ingest", "", "fleet: inject faults on the report-upload connections")
 		inRetries  = flag.Int("ingest-retries", 2, "fleet: retries per failed upload flush")
 		faultStats = flag.Bool("fault-stats", false, "fleet: print fault-injection stats at exit")
+
+		metricsAddr = flag.String("metrics-addr", "", "fleet: serve GET /metrics (JSON or ?format=prometheus) and /trace on this address mid-run")
+		traceSeed   = flag.Uint64("trace-seed", 1, "fleet: seed for deterministic per-probe trace IDs carried to mitmd (ClientHello session id) and reportd (wire frame); 0 disables tracing")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -84,6 +88,7 @@ func main() {
 			workers: *fleet, count: *count, duration: *duration, timeout: *timeout,
 			batch: *batch, retries: *inRetries,
 			probeFaults: probeFaults, ingestFaults: ingestFaults, faultStats: *faultStats,
+			metricsAddr: *metricsAddr, traceSeed: *traceSeed,
 		}
 		os.Exit(runFleet(cfg))
 	}
@@ -102,6 +107,16 @@ type fleetConfig struct {
 	batch, retries            int
 	probeFaults, ingestFaults *faultnet.Plan
 	faultStats                bool
+	metricsAddr               string
+	traceSeed                 uint64
+}
+
+// fleetTraceID derives the deterministic trace ID of probe i on worker w
+// under seed: seed in the top bits, worker in the middle, 1-based probe
+// index low — unique across a fleet, and computable offline so a runbook
+// can name "worker 0, probe 1" as an ID before the run starts.
+func fleetTraceID(seed uint64, w, i int) telemetry.TraceID {
+	return telemetry.TraceID(seed<<40 | uint64(w&0xffff)<<24 | uint64(i+1)&0xffffff)
 }
 
 // runFleet drives cfg.workers workers of repeated probes through the
@@ -148,6 +163,35 @@ func runFleet(cfg fleetConfig) int {
 		deadline = time.Now().Add(cfg.duration)
 		wg       sync.WaitGroup
 	)
+
+	// Telemetry: probe-stage latency histogram plus the per-probe traces
+	// the fleet propagates to mitmd and reportd. Always mounted — the
+	// per-probe cost is atomic ops on fixed cells.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(reg, 0)
+	if cfg.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler(reg, func() any {
+			return map[string]any{
+				"workers":  cfg.workers,
+				"probes":   probes.Load(),
+				"failures": failures.Load(),
+			}
+		}))
+		mux.Handle("/trace", tracer.Handler())
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlsproxy-probe: metrics listener: %v\n", err)
+			return 1
+		}
+		go http.Serve(ln, mux)
+		fmt.Printf("fleet: metrics on http://%s/metrics\n", ln.Addr())
+	}
+	if cfg.traceSeed != 0 {
+		fmt.Printf("fleet: tracing on (seed %d; worker 0 probe 1 = id %s)\n",
+			cfg.traceSeed, fleetTraceID(cfg.traceSeed, 0, 0))
+	}
+
 	start := time.Now()
 	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
@@ -160,8 +204,17 @@ func runFleet(cfg fleetConfig) int {
 			// batching upload client is safe.
 			prober := tlswire.NewProber()
 			dialer := net.Dialer{Timeout: cfg.timeout}
+			// sidBuf is the worker's session-id scratch: the trace ID is
+			// re-encoded in place each probe, no per-probe allocation.
+			var sidBuf [telemetry.TraceSessionIDLen]byte
 			for i := 0; cfg.count > 0 && i < cfg.count || cfg.count == 0 && time.Now().Before(deadline); i++ {
 				host := sniNames[(w+i)%len(sniNames)]
+				var traceID telemetry.TraceID
+				opts := tlswire.ProbeOptions{ServerName: host, Timeout: cfg.timeout}
+				if cfg.traceSeed != 0 {
+					traceID = fleetTraceID(cfg.traceSeed, w, i)
+					opts.SessionID = telemetry.AppendTraceSessionID(sidBuf[:0], traceID)
+				}
 				conn, err := dialer.Dial("tcp", cfg.addr)
 				if err != nil {
 					failures.Add(1)
@@ -170,15 +223,17 @@ func runFleet(cfg fleetConfig) int {
 				if cfg.probeFaults != nil {
 					conn = cfg.probeFaults.Wrap(conn)
 				}
-				res, err := prober.Probe(conn, tlswire.ProbeOptions{ServerName: host, Timeout: cfg.timeout})
+				probeStart := time.Now()
+				res, err := prober.Probe(conn, opts)
 				conn.Close()
 				if err != nil {
 					failures.Add(1)
 					continue
 				}
+				tracer.Record(traceID, telemetry.StageProbe, probeStart, res.HandshakeTime)
 				probes.Add(1)
 				if client != nil {
-					if err := client.Report(ingest.Report{Host: host, ChainDER: res.ChainDER}); err != nil {
+					if err := client.Report(ingest.Report{Host: host, ChainDER: res.ChainDER, Trace: uint64(traceID)}); err != nil {
 						fmt.Fprintf(os.Stderr, "tlsproxy-probe: upload: %v\n", err)
 					}
 				}

@@ -318,15 +318,34 @@ type Stats struct {
 	Cap        int    `json:"cap"`
 }
 
-// Stats snapshots the cache counters.
-func (c *Cache[V]) Stats() Stats {
+// Snapshot captures the counters coherently: effects are loaded before
+// their causes, so the causal invariants hold in every snapshot even
+// when it races the hot path. Each increment path bumps cause before
+// effect (a collision or miss precedes its derive; a derive precedes the
+// insert whose overflow precedes an eviction), and the counters are
+// monotonic, so loading an effect first yields a value no greater than
+// its cause read later:
+//
+//	Evictions ≤ Derives ≤ Misses + Collisions
+//
+// The old field order (hits first, evictions last) could surface
+// snapshots with more derives than misses, confusing rate dashboards.
+func (c *Cache[V]) Snapshot() Stats {
+	evictions := c.evictions.Load()
+	derives := c.derives.Load()
+	collisions := c.collisions.Load()
+	misses := c.misses.Load()
 	return Stats{
 		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Derives:    c.derives.Load(),
-		Evictions:  c.evictions.Load(),
-		Collisions: c.collisions.Load(),
+		Misses:     misses,
+		Derives:    derives,
+		Evictions:  evictions,
+		Collisions: collisions,
 		Size:       c.Len(),
 		Cap:        c.cap,
 	}
 }
+
+// Stats snapshots the cache counters. Identical to Snapshot; kept for
+// existing callers.
+func (c *Cache[V]) Stats() Stats { return c.Snapshot() }

@@ -13,6 +13,7 @@ import (
 	"tlsfof/internal/classify"
 	"tlsfof/internal/geo"
 	"tlsfof/internal/hostdb"
+	"tlsfof/internal/telemetry"
 	"tlsfof/internal/x509util"
 )
 
@@ -51,6 +52,9 @@ type Collector struct {
 	// key covers every Observe input, so a shared cache never leaks an
 	// observation across differing authoritative chains.
 	Cache *ObservationCache
+	// Tracer, when non-nil, records observe-stage latency and per-trace
+	// spans for reports that carry a trace ID. Nil costs one branch.
+	Tracer *telemetry.Tracer
 
 	// authoritative is a copy-on-write map: readers load the current
 	// snapshot without locking (Ingest runs millions of times per
@@ -108,11 +112,27 @@ func (c *Collector) Authoritative(host string) ([][]byte, bool) {
 // IP, the probed host, and the captured chain. It returns the derived
 // measurement after delivering it to the sink.
 func (c *Collector) Ingest(clientIP uint32, host string, observedDER [][]byte, campaign string) (Measurement, error) {
+	return c.IngestTraced(clientIP, host, observedDER, campaign, 0)
+}
+
+// IngestTraced is Ingest carrying the report's telemetry trace ID: the
+// observe stage is timed into the collector's Tracer and the resulting
+// measurement is stamped with the ID so downstream pipeline stages can
+// keep the trace alive. A zero trace (and/or nil Tracer) degrades to
+// plain Ingest.
+func (c *Collector) IngestTraced(clientIP uint32, host string, observedDER [][]byte, campaign string, trace uint64) (Measurement, error) {
 	auth, ok := c.snapshot()[host]
 	if !ok {
 		return Measurement{}, fmt.Errorf("core: no authoritative chain for %q", host)
 	}
+	var obsStart time.Time
+	if c.Tracer != nil {
+		obsStart = time.Now()
+	}
 	obs, err := ObserveCached(c.Cache, host, auth, observedDER, c.Classifier)
+	if c.Tracer != nil {
+		c.Tracer.Record(telemetry.TraceID(trace), telemetry.StageObserve, obsStart, time.Since(obsStart))
+	}
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -126,6 +146,7 @@ func (c *Collector) Ingest(clientIP uint32, host string, observedDER [][]byte, c
 		Host:     host,
 		Campaign: campaign,
 		Obs:      obs,
+		Trace:    trace,
 	}
 	if h, ok := hostdb.HostByName(host); ok {
 		m.HostCategory = h.Category

@@ -144,4 +144,9 @@ type Measurement struct {
 	Campaign string
 	// Obs is the derived certificate observation.
 	Obs Observation
+	// Trace is the probe's telemetry trace ID (0 when untraced). It is
+	// observability metadata, not measurement data: deliberately excluded
+	// from the durable codec (AppendMeasurement/DecodeMeasurement) so WAL,
+	// snapshot, and golden-table formats are unchanged by tracing.
+	Trace uint64
 }

@@ -43,10 +43,16 @@ func (s *ScenarioStats) add(field *uint64, n uint64) {
 	atomic.AddUint64(field, n)
 }
 
-// snapshot copies the stats without tearing.
-func (s *ScenarioStats) snapshot() ScenarioStats {
+// Snapshot copies the stats without tearing and coherently: every
+// activity counter is the effect of some wrapped connection existing,
+// and Wrap bumps Conns before any activity, so loading the activity
+// counters first and Conns LAST keeps the causal invariant
+// (Alerts ≤ Conns for alert scenarios, and no snapshot showing fault
+// activity with zero connections) true even when a scrape races Wrap.
+// Loading Conns first — the old order — could capture Conns from before
+// a racing Wrap and that Wrap's Alerts after it.
+func (s *ScenarioStats) Snapshot() ScenarioStats {
 	var out ScenarioStats
-	out.Conns = atomic.LoadUint64(&s.Conns)
 	out.Reads = atomic.LoadUint64(&s.Reads)
 	out.Writes = atomic.LoadUint64(&s.Writes)
 	out.BytesRead = atomic.LoadUint64(&s.BytesRead)
@@ -61,6 +67,7 @@ func (s *ScenarioStats) snapshot() ScenarioStats {
 	out.DupSegments = atomic.LoadUint64(&s.DupSegments)
 	out.SwappedPairs = atomic.LoadUint64(&s.SwappedPairs)
 	out.CoalescedFlushes = atomic.LoadUint64(&s.CoalescedFlushes)
+	out.Conns = atomic.LoadUint64(&s.Conns)
 	return out
 }
 
@@ -186,7 +193,7 @@ func (p *Plan) Stats() map[string]ScenarioStats {
 	defer p.mu.Unlock()
 	out := make(map[string]ScenarioStats, len(p.stats))
 	for name, st := range p.stats {
-		out[name] = st.snapshot()
+		out[name] = st.Snapshot()
 	}
 	return out
 }

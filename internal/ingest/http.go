@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"tlsfof/internal/core"
+	"tlsfof/internal/telemetry"
 )
 
 // maxBatchBytes bounds one /ingest/batch request body. At ~1-4 KiB per
@@ -40,10 +42,15 @@ func BatchHandler(col *core.Collector) http.Handler {
 		// corruption — or worse, as a clean EOF that drops the tail.
 		body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
 		dec := NewDecoder(body)
+		tracer := col.Tracer
 		var res BatchResult
 		status := http.StatusOK
 		for {
+			start := stageStart(tracer)
 			rep, err := dec.Next()
+			if tracer != nil && err == nil {
+				tracer.Record(telemetry.TraceID(rep.Trace), telemetry.StageDecode, start, time.Since(start))
+			}
 			if errors.Is(err, io.EOF) {
 				break
 			}
@@ -60,7 +67,7 @@ func BatchHandler(col *core.Collector) http.Handler {
 				}
 				break
 			}
-			if _, err := col.Ingest(ip, rep.Host, rep.ChainDER, col.Campaign); err != nil {
+			if _, err := col.IngestTraced(ip, rep.Host, rep.ChainDER, col.Campaign, rep.Trace); err != nil {
 				res.Rejected++
 				continue
 			}

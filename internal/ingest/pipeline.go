@@ -12,6 +12,7 @@ import (
 	"tlsfof/internal/core"
 	"tlsfof/internal/durable"
 	"tlsfof/internal/store"
+	"tlsfof/internal/telemetry"
 )
 
 // ShardBy selects the hash key that routes a measurement to a shard.
@@ -69,6 +70,12 @@ type Config struct {
 	WALSegmentBytes   int64
 	WALSyncEvery      time.Duration
 	WALSyncEachAppend bool
+
+	// Tracer, when non-nil, records shard_queue / wal_append /
+	// store_merge stage latencies per batch and keeps per-probe traces
+	// alive through the pipeline for measurements carrying a trace ID.
+	// Nil keeps the data path free of clock reads.
+	Tracer *telemetry.Tracer
 }
 
 // walOptions builds the per-shard durable options.
@@ -110,11 +117,18 @@ type Stats struct {
 	WALErrors uint64
 }
 
+// shardBatch is one queued batch plus the timestamp it joined the queue
+// (zero when no tracer is mounted — the clock is only read for telemetry).
+type shardBatch struct {
+	ms         []core.Measurement
+	enqueuedAt time.Time
+}
+
 type shard struct {
 	sink BatchSink
 	db   *store.DB    // nil when Config.Sinks overrides
 	wal  *durable.Log // nil without Config.WALDir
-	ch   chan []core.Measurement
+	ch   chan shardBatch
 
 	mu      sync.Mutex
 	pending []core.Measurement
@@ -187,7 +201,7 @@ func openPipeline(cfg Config) (*Pipeline, []durable.Info, error) {
 	}
 	p := &Pipeline{cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range p.shards {
-		sh := &shard{ch: make(chan []core.Measurement, cfg.QueueDepth)}
+		sh := &shard{ch: make(chan shardBatch, cfg.QueueDepth)}
 		switch {
 		case cfg.Sinks != nil:
 			sh.sink = cfg.Sinks(i)
@@ -255,18 +269,58 @@ func checkShardManifest(dir string, shards int) error {
 
 func (p *Pipeline) work(sh *shard) {
 	defer p.wg.Done()
-	for batch := range sh.ch {
+	tr := p.cfg.Tracer
+	for qb := range sh.ch {
+		batch := qb.ms
+		if tr != nil && !qb.enqueuedAt.IsZero() {
+			// Queue wait is a per-batch stage; traced measurements inside
+			// the batch get a span without multiplying the histogram.
+			wait := time.Since(qb.enqueuedAt)
+			tr.Observe(telemetry.StageQueue, wait)
+			recordBatchSpans(tr, batch, telemetry.StageQueue, qb.enqueuedAt, wait)
+		}
 		if sh.wal != nil {
 			// Write-ahead: the batch hits the WAL before the store, so
 			// anything visible in a merge/table is also on its way to
 			// disk. Append errors degrade durability, never availability.
-			if err := sh.wal.AppendBatch(batch); err != nil {
+			start := stageStart(tr)
+			err := sh.wal.AppendBatch(batch)
+			if tr != nil {
+				d := time.Since(start)
+				tr.Observe(telemetry.StageWAL, d)
+				recordBatchSpans(tr, batch, telemetry.StageWAL, start, d)
+			}
+			if err != nil {
 				sh.walErrs.Add(uint64(len(batch)))
 			}
 		}
+		start := stageStart(tr)
 		sh.sink.IngestBatch(batch)
+		if tr != nil {
+			d := time.Since(start)
+			tr.Observe(telemetry.StageStore, d)
+			recordBatchSpans(tr, batch, telemetry.StageStore, start, d)
+		}
 		sh.ingested.Add(uint64(len(batch)))
 		sh.batches.Add(1)
+	}
+}
+
+// stageStart reads the clock only when a tracer will consume it.
+func stageStart(tr *telemetry.Tracer) time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// recordBatchSpans attaches a per-batch stage to every traced measurement
+// in the batch (span-only: the batch observed the histogram once).
+func recordBatchSpans(tr *telemetry.Tracer, batch []core.Measurement, stage string, start time.Time, d time.Duration) {
+	for i := range batch {
+		if t := batch[i].Trace; t != 0 {
+			tr.RecordSpan(telemetry.TraceID(t), stage, start, d)
+		}
 	}
 }
 
@@ -355,13 +409,14 @@ func (p *Pipeline) enqueue(sh *shard, batch []core.Measurement) {
 	if len(batch) == 0 {
 		return
 	}
+	qb := shardBatch{ms: batch, enqueuedAt: stageStart(p.cfg.Tracer)}
 	if p.cfg.Block {
-		sh.ch <- batch
+		sh.ch <- qb
 		sh.enqueued.Add(uint64(len(batch)))
 		return
 	}
 	select {
-	case sh.ch <- batch:
+	case sh.ch <- qb:
 		sh.enqueued.Add(uint64(len(batch)))
 	default:
 		sh.dropped.Add(uint64(len(batch)))
@@ -464,6 +519,50 @@ func (p *Pipeline) Stores() []*store.DB {
 // a point-in-time snapshot that misses queued-but-undelivered batches.
 func (p *Pipeline) Merge(retainLimit int) *store.DB {
 	return store.Merge(retainLimit, p.Stores()...)
+}
+
+// MountMetrics bridges the pipeline's accounting into a telemetry
+// registry as scrape-time gauges, so the unified /metrics exposition
+// carries ingest totals without double counting.
+func (p *Pipeline) MountMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("ingest_enqueued_total", "measurements accepted onto shard queues", func() float64 {
+		var n uint64
+		for _, sh := range p.shards {
+			n += sh.enqueued.Load()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("ingest_ingested_total", "measurements delivered to shard sinks", func() float64 {
+		var n uint64
+		for _, sh := range p.shards {
+			n += sh.ingested.Load()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("ingest_dropped_total", "measurements discarded on full queues", func() float64 {
+		var n uint64
+		for _, sh := range p.shards {
+			n += sh.dropped.Load()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("ingest_wal_errors_total", "measurements whose write-ahead append failed", func() float64 {
+		var n uint64
+		for _, sh := range p.shards {
+			n += sh.walErrs.Load()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("ingest_queue_depth", "queued batches across shards", func() float64 {
+		var n int
+		for _, sh := range p.shards {
+			n += len(sh.ch)
+		}
+		return float64(n)
+	})
 }
 
 // Stats snapshots the ingest accounting.

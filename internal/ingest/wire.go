@@ -14,16 +14,25 @@ import (
 // trip is pure waste. The /ingest/batch endpoint instead streams this
 // compact binary framing, many reports per connection:
 //
-//	stream = magic("TFW1") frame*
-//	frame  = hostLen:uvarint host:bytes certCount:uvarint
+//	stream = magic("TFW2") frame*
+//	frame  = trace:uvarint hostLen:uvarint host:bytes certCount:uvarint
 //	         (certLen:uvarint der:bytes)*
+//
+// TFW2 prefixes each frame with a telemetry trace ID (0 = untraced: one
+// byte, so the cost of the field is a single byte per frame for fleets
+// that don't trace). Version-1 streams ("TFW1") lack the trace field;
+// the decoder accepts both, so old clients keep uploading unchanged.
 //
 // DER bytes travel untouched, so the decoder hands chains straight to
 // core.Observe. The Decoder is streaming: it never buffers more than one
 // frame, so a single connection can carry an unbounded report stream.
 
-// wireMagic begins every stream: "TFW" + format version '1'.
-var wireMagic = [4]byte{'T', 'F', 'W', '1'}
+// wireMagic begins every stream the encoder writes: "TFW" + format
+// version '2'. wireMagicV1 is the previous version, still decodable.
+var (
+	wireMagic   = [4]byte{'T', 'F', 'W', '2'}
+	wireMagicV1 = [4]byte{'T', 'F', 'W', '1'}
+)
 
 // Wire-format limits; hostile clients exist (the /report endpoint bounds
 // its uploads the same way).
@@ -39,10 +48,12 @@ const (
 )
 
 // Report is one client upload: the probed host and the certificate chain
-// the client actually received, leaf first.
+// the client actually received, leaf first, plus the probe's telemetry
+// trace ID (0 when untraced).
 type Report struct {
 	Host     string
 	ChainDER [][]byte
+	Trace    uint64
 }
 
 // Encoder writes reports in the binary wire format. Not safe for
@@ -79,7 +90,8 @@ func (e *Encoder) Encode(r Report) error {
 		}
 		e.wroteHeader = true
 	}
-	e.scratch = binary.AppendUvarint(e.scratch[:0], uint64(len(r.Host)))
+	e.scratch = binary.AppendUvarint(e.scratch[:0], r.Trace)
+	e.scratch = binary.AppendUvarint(e.scratch, uint64(len(r.Host)))
 	e.scratch = append(e.scratch, r.Host...)
 	e.scratch = binary.AppendUvarint(e.scratch, uint64(len(r.ChainDER)))
 	if _, err := e.w.Write(e.scratch); err != nil {
@@ -120,6 +132,7 @@ func AppendReports(dst []byte, reports []Report) ([]byte, error) {
 		if len(r.ChainDER) == 0 || len(r.ChainDER) > MaxWireChainCerts {
 			return nil, fmt.Errorf("ingest: chain of %d certs outside [1,%d]", len(r.ChainDER), MaxWireChainCerts)
 		}
+		dst = binary.AppendUvarint(dst, r.Trace)
 		dst = binary.AppendUvarint(dst, uint64(len(r.Host)))
 		dst = append(dst, r.Host...)
 		dst = binary.AppendUvarint(dst, uint64(len(r.ChainDER)))
@@ -139,6 +152,8 @@ func AppendReports(dst []byte, reports []Report) ([]byte, error) {
 type Decoder struct {
 	r          *bufio.Reader
 	readHeader bool
+	// v1 marks a "TFW1" stream, whose frames carry no trace field.
+	v1 bool
 }
 
 // NewDecoder returns a streaming decoder over r.
@@ -158,15 +173,35 @@ func (d *Decoder) Next() (Report, error) {
 			}
 			return Report{}, fmt.Errorf("ingest: reading wire header: %w", err)
 		}
-		if got != wireMagic {
-			return Report{}, fmt.Errorf("ingest: bad wire magic %q (want %q)", got[:], wireMagic[:])
+		switch got {
+		case wireMagic:
+		case wireMagicV1:
+			d.v1 = true
+		default:
+			return Report{}, fmt.Errorf("ingest: bad wire magic %q (want %q or %q)", got[:], wireMagic[:], wireMagicV1[:])
 		}
 		d.readHeader = true
+	}
+
+	var trace uint64
+	if !d.v1 {
+		var err error
+		trace, err = binary.ReadUvarint(d.r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return Report{}, io.EOF // clean end on frame boundary
+			}
+			return Report{}, fmt.Errorf("ingest: reading trace id: %w", err)
+		}
 	}
 
 	hostLen, err := binary.ReadUvarint(d.r)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
+			if !d.v1 {
+				// The trace field was read, so the frame has started.
+				return Report{}, fmt.Errorf("ingest: reading host length: %w", io.ErrUnexpectedEOF)
+			}
 			return Report{}, io.EOF // clean end on frame boundary
 		}
 		return Report{}, fmt.Errorf("ingest: reading host length: %w", err)
@@ -201,7 +236,7 @@ func (d *Decoder) Next() (Report, error) {
 		}
 		chain[i] = der
 	}
-	return Report{Host: string(host), ChainDER: chain}, nil
+	return Report{Host: string(host), ChainDER: chain, Trace: trace}, nil
 }
 
 // noEOF maps io.EOF to io.ErrUnexpectedEOF: inside a frame, running out

@@ -22,6 +22,10 @@ type Mux struct {
 	// Fallback receives every non-policy connection. The conn replays all
 	// bytes already read. Required.
 	Fallback func(net.Conn)
+	// OnPolicy, when non-nil, is called once per connection dispatched as
+	// a policy request, before it is served — a counting hook for
+	// telemetry (cmd/policyd's /metrics).
+	OnPolicy func()
 	// SniffTimeout bounds the wait for the first byte (default 5s).
 	SniffTimeout time.Duration
 }
@@ -52,6 +56,9 @@ func (m *Mux) handle(conn net.Conn) {
 	}
 	if first[0] == '<' {
 		defer conn.Close()
+		if m.OnPolicy != nil {
+			m.OnPolicy()
+		}
 		_ = Serve(&replayConn{Conn: conn, r: br}, m.Policy, timeout)
 		return
 	}

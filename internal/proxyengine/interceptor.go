@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"tlsfof/internal/telemetry"
 	"tlsfof/internal/tlswire"
 	"tlsfof/internal/x509util"
 )
@@ -38,6 +39,11 @@ type Interceptor struct {
 	// callers that set deadlines themselves (cmd/mitmd sets a
 	// whole-connection deadline).
 	ClientTimeout time.Duration
+	// Tracer, when non-nil, records per-stage latencies (sniff, upstream
+	// fetch, forge decision, respond/splice) and — for probes that carry
+	// a trace ID in their ClientHello session id — per-trace spans. Nil
+	// keeps the handler free of clock reads.
+	Tracer *telemetry.Tracer
 
 	mu       sync.Mutex
 	upstream map[string][][]byte // authoritative chains, by host
@@ -132,6 +138,7 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 		// the handshake budget.
 		clientConn.SetReadDeadline(time.Now().Add(ic.ClientTimeout))
 	}
+	sniffStart := ic.stageStart()
 	msgType, body, err := cs.hr.Next()
 	if err != nil {
 		return fmt.Errorf("proxyengine: read ClientHello: %w", err)
@@ -142,6 +149,13 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 	if err := tlswire.ParseClientHello(body, &cs.ch); err != nil {
 		return err
 	}
+	// Probes announce their telemetry trace ID in the session-id field;
+	// any other client's session id decodes to 0 (untraced).
+	var trace telemetry.TraceID
+	if ic.Tracer != nil {
+		trace, _ = telemetry.TraceFromSessionID(cs.ch.SessionID)
+		ic.Tracer.Record(trace, telemetry.StageMitmSniff, sniffStart, time.Since(sniffStart))
+	}
 	if ic.ClientTimeout > 0 {
 		clientConn.SetReadDeadline(time.Time{})
 	}
@@ -150,7 +164,11 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 		return fmt.Errorf("proxyengine: client sent no SNI; cannot route")
 	}
 
+	upstreamStart := ic.stageStart()
 	upstreamDER, err := ic.upstreamChain(host)
+	if ic.Tracer != nil {
+		ic.Tracer.Record(trace, telemetry.StageMitmUpstrm, upstreamStart, time.Since(upstreamStart))
+	}
 	if err != nil {
 		_ = tlswire.WriteAlert(clientConn, tlswire.VersionTLS12,
 			tlswire.Alert{Level: tlswire.AlertLevelFatal, Description: tlswire.AlertInternalError})
@@ -161,7 +179,11 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 		return err
 	}
 
+	forgeStart := ic.stageStart()
 	decision, err := ic.Engine.Decide(host, upstream, upstreamDER)
+	if ic.Tracer != nil {
+		ic.Tracer.Record(trace, telemetry.StageMitmForge, forgeStart, time.Since(forgeStart))
+	}
 	switch decision.Action {
 	case ActionBlock:
 		// Bitdefender behavior: refuse the connection outright.
@@ -170,7 +192,12 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 		return err
 
 	case ActionPassthrough:
-		return ic.splice(clientConn, host, cs.sniffed.Bytes())
+		spliceStart := ic.stageStart()
+		err := ic.splice(clientConn, host, cs.sniffed.Bytes())
+		if ic.Tracer != nil {
+			ic.Tracer.Record(trace, telemetry.StageMitmSplice, spliceStart, time.Since(spliceStart))
+		}
+		return err
 
 	case ActionIntercept:
 		if err != nil {
@@ -178,13 +205,26 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 		}
 		cs.replay.Conn = clientConn
 		cs.replay.pre.Reset(cs.sniffed.Bytes())
-		return tlswire.Respond(&cs.replay, tlswire.ResponderConfig{
+		respondStart := ic.stageStart()
+		err := tlswire.Respond(&cs.replay, tlswire.ResponderConfig{
 			Chain:   tlswire.StaticChain(decision.ChainDER),
 			Timeout: ic.ClientTimeout,
 		})
+		if ic.Tracer != nil {
+			ic.Tracer.Record(trace, telemetry.StageMitmRespond, respondStart, time.Since(respondStart))
+		}
+		return err
 	default:
 		return fmt.Errorf("proxyengine: unknown action %v", decision.Action)
 	}
+}
+
+// stageStart reads the clock only when a tracer will consume it.
+func (ic *Interceptor) stageStart() time.Time {
+	if ic.Tracer == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // splice connects the client to the real upstream and copies bytes both

@@ -18,6 +18,7 @@ import (
 	"tlsfof/internal/ingest"
 	"tlsfof/internal/stats"
 	"tlsfof/internal/store"
+	"tlsfof/internal/telemetry"
 )
 
 // Config parameterizes one study run.
@@ -65,6 +66,12 @@ type Config struct {
 	// been appended to the WAL — deterministic crash injection for the
 	// resume-equivalence tests and recovery drills. 0 = disabled.
 	AbortAfter int
+	// Metrics, when non-nil, exposes the run's live progress on the
+	// shared telemetry registry: study_measurements_total counts every
+	// measurement as it reaches the sink, study_campaigns_done_total the
+	// campaigns finished. cmd/study's -progress reporter polls these;
+	// any registry scrape works. Nil keeps the hot path counter-free.
+	Metrics *telemetry.Registry
 }
 
 // Result is a completed study run.
@@ -88,6 +95,19 @@ type Result struct {
 	// Resume holds the durable-plane accounting when the run used
 	// Config.DataDir (nil otherwise).
 	Resume *ResumeInfo
+}
+
+// meterTee counts measurements into the telemetry registry on their way
+// to the real sink. Counter.Add is one atomic add, so the tee is safe
+// from the parallel path's campaign goroutines and costs no allocations.
+type meterTee struct {
+	n    *telemetry.Counter
+	next core.Sink
+}
+
+func (t meterTee) Ingest(m core.Measurement) {
+	t.n.Inc()
+	t.next.Ingest(m)
 }
 
 // studyEpoch anchors synthetic measurement timestamps: the first study
@@ -188,13 +208,28 @@ func Run(cfg Config) (*Result, error) {
 		ctl = &walControl{wal: wal, abortAfter: int64(cfg.AbortAfter), snapshotEvery: int64(cfg.SnapshotEvery)}
 		defer wal.Close()
 	}
+	// Progress counters live on the caller's registry; counting happens
+	// in an outermost sink tee so both the sequential and sharded paths
+	// (and the WAL tee, when active) see identical totals.
+	var meter, campaignsDone *telemetry.Counter
+	if cfg.Metrics != nil {
+		meter = cfg.Metrics.Counter("study_measurements_total",
+			"measurements generated and handed to the sink")
+		campaignsDone = cfg.Metrics.Counter("study_campaigns_done_total",
+			"ad campaigns finished generating")
+		cfg.Metrics.GaugeFunc("study_campaigns_total",
+			"ad campaigns in this run", func() float64 { return float64(len(campaigns)) })
+	}
 	// wrap interposes the write-ahead tee between a campaign generator
 	// and its sink; without DataDir it is the identity.
 	wrap := func(sink core.Sink) core.Sink {
-		if ctl == nil {
-			return sink
+		if ctl != nil {
+			sink = walTee{ctl: ctl, next: sink}
 		}
-		return walTee{ctl: ctl, next: sink}
+		if meter != nil {
+			sink = meterTee{n: meter, next: sink}
+		}
+		return sink
 	}
 	var stop func() bool
 	if ctl != nil {
@@ -226,6 +261,7 @@ func Run(cfg Config) (*Result, error) {
 				b := ingest.NewBatcher(pl, cfg.IngestBatch)
 				err := gen.run(campaigns[ci], outcomes[ci], crs[ci], wrap(b), skips[campaigns[ci].Name], stop)
 				b.Flush()
+				campaignsDone.Inc()
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -259,6 +295,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 				return nil, err
 			}
+			campaignsDone.Inc()
 		}
 	}
 

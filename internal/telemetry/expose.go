@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// registryJSON renders a registry snapshot as the "telemetry" JSON value:
+// counters and gauges as numbers, histograms as {count, sum_seconds,
+// p50/p90/p99 upper-bound estimates}.
+func registryJSON(reg *Registry) map[string]any {
+	out := make(map[string]any)
+	for _, m := range reg.Snapshot() {
+		switch m.Kind {
+		case KindHistogram:
+			out[m.Name] = map[string]any{
+				"count":       m.Hist.Count,
+				"sum_seconds": m.Hist.SumSeconds,
+				"p50_seconds": m.Hist.Quantile(0.50).Seconds(),
+				"p90_seconds": m.Hist.Quantile(0.90).Seconds(),
+				"p99_seconds": m.Hist.Quantile(0.99).Seconds(),
+			}
+		default:
+			out[m.Name] = m.Value
+		}
+	}
+	return out
+}
+
+// sanitizeMetricName maps arbitrary JSON keys onto the Prometheus metric
+// name grammar.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Histograms emit cumulative le buckets in
+// seconds plus _sum and _count, as a native Prometheus histogram would.
+// Zero buckets are elided — 64 log2 buckets are mostly empty and the
+// cumulative encoding stays exact without them.
+func WritePrometheus(w *strings.Builder, reg *Registry) {
+	for _, m := range reg.Snapshot() {
+		name := sanitizeMetricName(m.Name)
+		if m.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(m.Help, "\n", " "))
+		}
+		switch m.Kind {
+		case KindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, formatFloat(m.Value))
+		case KindGauge, KindGaugeFunc:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(m.Value))
+		case KindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for i, c := range m.Hist.Buckets {
+				cum += c
+				if c == 0 {
+					continue
+				}
+				le := float64(BucketBound(i)) / 1e9
+				fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(le), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(m.Hist.SumSeconds))
+			fmt.Fprintf(w, "%s_count %d\n", name, m.Hist.Count)
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// flattenDoc walks a legacy metrics document (maps, numbers, bools) and
+// emits each numeric leaf as prefix_path gauge lines, so the Prometheus
+// view carries everything the JSON view does.
+func flattenDoc(w *strings.Builder, prefix string, v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "_" + k
+			}
+			flattenDoc(w, p, x[k])
+		}
+	case float64:
+		name := sanitizeMetricName(prefix)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(x))
+	case bool:
+		name := sanitizeMetricName(prefix)
+		val := "0"
+		if x {
+			val = "1"
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, val)
+	case json.Number:
+		if f, err := x.Float64(); err == nil {
+			flattenDoc(w, prefix, f)
+		}
+	}
+}
+
+// docToMap round-trips an arbitrary legacy metrics document through JSON
+// into a generic map so both formats share one source of truth.
+func docToMap(doc any) (map[string]any, error) {
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Handler serves a unified /metrics endpoint. doc (optional) supplies a
+// binary's legacy metrics document per scrape; its JSON field names are
+// preserved verbatim so existing scrapers keep working, with the registry
+// merged in under "telemetry". With ?format=prometheus (or an Accept
+// header naming text/plain first) the same data renders as Prometheus
+// text format: registry metrics natively (real histogram buckets),
+// legacy-doc numeric leaves flattened to gauges.
+func Handler(reg *Registry, doc func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			var b strings.Builder
+			if doc != nil {
+				if m, err := docToMap(doc()); err == nil {
+					flattenDoc(&b, "", m)
+				}
+			}
+			WritePrometheus(&b, reg)
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write([]byte(b.String()))
+			return
+		}
+		out := map[string]any{}
+		if doc != nil {
+			m, err := docToMap(doc())
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			out = m
+		}
+		if reg != nil {
+			out["telemetry"] = registryJSON(reg)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+}
+
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.HasPrefix(accept, "text/plain")
+}

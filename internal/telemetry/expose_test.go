@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+type legacyDoc struct {
+	Product string `json:"product"`
+	Uptime  int    `json:"uptime_seconds"`
+	Conns   struct {
+		Accepted int `json:"accepted"`
+		Active   int `json:"active"`
+	} `json:"conns"`
+}
+
+func sampleDoc() any {
+	var d legacyDoc
+	d.Product = "mitmd"
+	d.Uptime = 12
+	d.Conns.Accepted = 40
+	d.Conns.Active = 3
+	return d
+}
+
+func TestHandlerJSONPreservesLegacyFields(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs_total", "requests").Add(7)
+	h := Handler(reg, sampleDoc)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	// Existing scraper-facing field names survive verbatim.
+	if got["product"] != "mitmd" || got["uptime_seconds"] != float64(12) {
+		t.Fatalf("legacy fields mangled: %v", got)
+	}
+	conns, ok := got["conns"].(map[string]any)
+	if !ok || conns["accepted"] != float64(40) {
+		t.Fatalf("nested legacy fields mangled: %v", got["conns"])
+	}
+	tele, ok := got["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("no telemetry key: %v", got)
+	}
+	if tele["reqs_total"] != float64(7) {
+		t.Fatalf("telemetry.reqs_total = %v, want 7", tele["reqs_total"])
+	}
+}
+
+func TestHandlerJSONHistogram(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("stage_probe_seconds", "probe latency")
+	for i := 0; i < 10; i++ {
+		hist.Observe(time.Millisecond)
+	}
+	rec := httptest.NewRecorder()
+	Handler(reg, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var got map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	tele := got["telemetry"].(map[string]any)
+	h := tele["stage_probe_seconds"].(map[string]any)
+	if h["count"] != float64(10) {
+		t.Fatalf("count = %v, want 10", h["count"])
+	}
+	if p99, ok := h["p99_seconds"].(float64); !ok || p99 <= 0 {
+		t.Fatalf("p99_seconds = %v", h["p99_seconds"])
+	}
+}
+
+func TestHandlerPrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs_total", "total requests").Add(7)
+	reg.Gauge("depth", "queue depth").Set(3)
+	reg.GaugeFunc("fn_gauge", "", func() float64 { return 1.5 })
+	hist := reg.Histogram("stage_probe_seconds", "probe latency")
+	hist.Observe(time.Millisecond) // bucket bound 2^20 ns
+	hist.Observe(3 * time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	Handler(reg, sampleDoc).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		"reqs_total 7",
+		"# TYPE depth gauge",
+		"depth 3",
+		"fn_gauge 1.5",
+		"# TYPE stage_probe_seconds histogram",
+		"stage_probe_seconds_count 2",
+		`stage_probe_seconds_bucket{le="+Inf"} 2`,
+		// Legacy doc numeric leaves flattened to gauges.
+		"uptime_seconds 12",
+		"conns_accepted 40",
+		"conns_active 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prometheus body missing %q:\n%s", want, body)
+		}
+	}
+	// Cumulative bucket counts must be nondecreasing and end at count.
+	var last uint64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "stage_probe_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = v
+	}
+	if last != 2 {
+		t.Fatalf("final cumulative bucket = %d, want 2", last)
+	}
+	// The Accept header also selects the text format.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	Handler(reg, nil).ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "# TYPE reqs_total counter") {
+		t.Fatal("Accept: text/plain did not select prometheus format")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":     "ok_name",
+		"has-dash":    "has_dash",
+		"dot.path":    "dot_path",
+		"9starts":     "_9starts",
+		"mixed.9-a_b": "mixed_9_a_b",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerNilDocAndRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || strings.TrimSpace(rec.Body.String()) != "{}" {
+		t.Fatalf("nil/nil JSON = %d %q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	Handler(nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil/nil prometheus status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSessionIDRoundTrip(t *testing.T) {
+	for _, id := range []TraceID{1, 0xdeadbeef, 1<<64 - 1} {
+		sid := AppendTraceSessionID(nil, id)
+		if len(sid) != TraceSessionIDLen {
+			t.Fatalf("session id length = %d, want %d", len(sid), TraceSessionIDLen)
+		}
+		got, ok := TraceFromSessionID(sid)
+		if !ok || got != id {
+			t.Fatalf("round trip of %v = %v, %v", id, got, ok)
+		}
+	}
+	// Zero ID encodes but does not decode as traced — 0 means untraced.
+	if _, ok := TraceFromSessionID(AppendTraceSessionID(nil, 0)); ok {
+		t.Fatal("zero id must not decode as a trace")
+	}
+	// Foreign session ids must not decode: wrong length, wrong magic.
+	for _, sid := range [][]byte{nil, {1, 2, 3}, make([]byte, 32), []byte("XXXX12345678")} {
+		if _, ok := TraceFromSessionID(sid); ok {
+			t.Fatalf("foreign session id %x decoded as a trace", sid)
+		}
+	}
+}
+
+func TestTraceIDStringParse(t *testing.T) {
+	id := TraceID(0xabc123)
+	got, err := ParseTraceID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("parse(%q) = %v, %v", id.String(), got, err)
+	}
+	if _, err := ParseTraceID("not-a-trace"); err == nil {
+		t.Fatal("want error for junk input")
+	}
+}
+
+func TestTracerRecordLookup(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 8)
+	start := time.Unix(100, 0)
+	tr.Record(42, StageProbe, start, time.Millisecond)
+	tr.RecordSpan(42, StageObserve, start.Add(time.Millisecond), 10*time.Microsecond)
+
+	got, ok := tr.Lookup(42)
+	if !ok {
+		t.Fatal("trace 42 not found")
+	}
+	if len(got.Spans) != 2 || got.Spans[0].Stage != StageProbe || got.Spans[1].Stage != StageObserve {
+		t.Fatalf("spans = %+v", got.Spans)
+	}
+	if got.Spans[0].Duration != time.Millisecond {
+		t.Fatalf("probe span duration = %v", got.Spans[0].Duration)
+	}
+
+	// Record fed the stage histogram; RecordSpan did not.
+	if c := reg.Histogram(StageMetric(StageProbe), "").Snapshot().Count; c != 1 {
+		t.Fatalf("probe histogram count = %d, want 1", c)
+	}
+	if c := reg.Histogram(StageMetric(StageObserve), "").Snapshot().Count; c != 0 {
+		t.Fatalf("observe histogram count = %d, want 0 (RecordSpan is span-only)", c)
+	}
+	// Observe feeds the histogram without creating a trace.
+	tr.Observe(StageWAL, time.Second)
+	if c := reg.Histogram(StageMetric(StageWAL), "").Snapshot().Count; c != 1 {
+		t.Fatalf("wal histogram count = %d, want 1", c)
+	}
+	if _, ok := tr.Lookup(0); ok {
+		t.Fatal("id 0 must never resolve")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	for id := TraceID(1); id <= 6; id++ {
+		tr.RecordSpan(id, StageProbe, time.Time{}, time.Millisecond)
+	}
+	// Capacity 4: ids 1 and 2 evicted, 3..6 resident.
+	for id := TraceID(1); id <= 2; id++ {
+		if _, ok := tr.Lookup(id); ok {
+			t.Fatalf("id %d should have been evicted", id)
+		}
+	}
+	for id := TraceID(3); id <= 6; id++ {
+		if _, ok := tr.Lookup(id); !ok {
+			t.Fatalf("id %d should be resident", id)
+		}
+	}
+	recent := tr.Recent(2)
+	if len(recent) != 2 || recent[0] != 6 || recent[1] != 5 {
+		t.Fatalf("recent = %v, want [6 5]", recent)
+	}
+}
+
+func TestTracerSpanBound(t *testing.T) {
+	tr := NewTracer(nil, 2)
+	for i := 0; i < maxSpans+3; i++ {
+		tr.RecordSpan(9, StageProbe, time.Time{}, time.Millisecond)
+	}
+	got, ok := tr.Lookup(9)
+	if !ok || len(got.Spans) != maxSpans || !got.Truncated {
+		t.Fatalf("spans = %d truncated = %v, want %d true", len(got.Spans), got.Truncated, maxSpans)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(base TraceID) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := base*1000 + TraceID(i%32) + 1
+				tr.Record(id, StageProbe, time.Time{}, time.Millisecond)
+				tr.Lookup(id)
+				tr.Observe(StageWAL, time.Microsecond)
+			}
+		}(TraceID(w))
+	}
+	wg.Wait()
+}
+
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(nil, 8)
+	tr.RecordSpan(0xbeef, StageProbe, time.Unix(5, 0), 3*time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace?id=000000000000beef", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d body %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		ID    string `json:"id"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != "000000000000beef" || len(resp.Spans) != 1 || resp.Spans[0].Stage != StageProbe {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	var recent struct {
+		Recent []string `json:"recent"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &recent); err != nil {
+		t.Fatal(err)
+	}
+	if len(recent.Recent) != 1 || recent.Recent[0] != "000000000000beef" {
+		t.Fatalf("recent = %+v", recent)
+	}
+
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace?id=ffff", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown id status = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace?id=zzz", nil))
+	if rec.Code != 400 {
+		t.Fatalf("junk id status = %d, want 400", rec.Code)
+	}
+}

@@ -34,6 +34,10 @@ type ProbeOptions struct {
 	Timeout time.Duration
 	// Entropy supplies the ClientHello random (crypto/rand when nil).
 	Entropy io.Reader
+	// SessionID is sent verbatim in the ClientHello session-id field
+	// (empty by default). The measurement fleet uses it to carry a
+	// telemetry trace ID to the interceptor in-band; 32 bytes max.
+	SessionID []byte
 }
 
 // Prober holds the reusable state of one probing goroutine: record and
@@ -121,7 +125,7 @@ func (p *Prober) Probe(conn net.Conn, opts ProbeOptions) (*ProbeResult, error) {
 	p.ch.Version = opts.Version
 	p.ch.CipherSuites = append(p.ch.CipherSuites[:0], opts.CipherSuites...)
 	p.ch.ServerName = opts.ServerName
-	p.ch.SessionID = p.ch.SessionID[:0]
+	p.ch.SessionID = append(p.ch.SessionID[:0], opts.SessionID...)
 	p.ch.CompressionMethods = p.ch.CompressionMethods[:0]
 	if _, err := io.ReadFull(entropy, p.ch.Random[:]); err != nil {
 		return nil, fmt.Errorf("tlswire: client random: %w", err)

@@ -27,6 +27,7 @@ import (
 	"tlsfof/internal/netsim"
 	"tlsfof/internal/proxyengine"
 	"tlsfof/internal/store"
+	"tlsfof/internal/telemetry"
 	"tlsfof/internal/tlswire"
 )
 
@@ -318,7 +319,10 @@ func renderTable(t testing.TB, f func(*strings.Builder) error) string {
 
 // BenchmarkLiveWireProbe measures raw probe throughput through one
 // forging interceptor over loopback TCP with a warm forge cache — the
-// per-connection cost of the interception plane itself.
+// per-connection cost of the interception plane itself. The telemetry
+// plane is mounted and every probe carries a trace ID, exactly as
+// cmd/mitmd and cmd/tlsproxy-probe run by default: the number includes
+// per-stage histogram observes and span recording.
 func BenchmarkLiveWireProbe(b *testing.B) {
 	hosts := []string{"bench-a.example", "bench-b.example", "bench-c.example"}
 	world := newLWWorld(b, hosts)
@@ -331,6 +335,7 @@ func BenchmarkLiveWireProbe(b *testing.B) {
 	ic := proxyengine.NewInterceptor(e, func(string) (net.Conn, error) {
 		return net.Dial("tcp", upstreamLn.Addr().String())
 	})
+	ic.Tracer = telemetry.NewTracer(telemetry.NewRegistry(), 0)
 	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -343,11 +348,13 @@ func BenchmarkLiveWireProbe(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	var sidBuf [telemetry.TraceSessionIDLen]byte
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tlswire.ProbeAddr(proxyLn.Addr().String(), tlswire.ProbeOptions{
 			ServerName: hosts[i%len(hosts)], Timeout: 10 * time.Second,
+			SessionID: telemetry.AppendTraceSessionID(sidBuf[:0], telemetry.TraceID(1<<40|uint64(i+1)&0xffffff)),
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -358,7 +365,9 @@ func BenchmarkLiveWireProbe(b *testing.B) {
 // BenchmarkLiveWireEndToEnd measures the whole loop per iteration: an
 // 8-worker fleet runs 256 probes through the interceptor and streams them
 // into the batch-ingest pipeline, ending with a drain — fleet → proxy →
-// reportd ingest → sharded store, all over real sockets.
+// reportd ingest → sharded store, all over real sockets. The telemetry
+// plane is mounted end to end (interceptor, decode, observe, pipeline)
+// and every probe carries a trace ID — the default production shape.
 func BenchmarkLiveWireEndToEnd(b *testing.B) {
 	const (
 		workers     = 8
@@ -375,6 +384,8 @@ func BenchmarkLiveWireEndToEnd(b *testing.B) {
 	ic := proxyengine.NewInterceptor(e, func(string) (net.Conn, error) {
 		return net.Dial("tcp", upstreamLn.Addr().String())
 	})
+	tracer := telemetry.NewTracer(telemetry.NewRegistry(), 0)
+	ic.Tracer = tracer
 	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -382,11 +393,12 @@ func BenchmarkLiveWireEndToEnd(b *testing.B) {
 	defer proxyLn.Close()
 	go ic.Serve(proxyLn, nil)
 
-	pipeline := ingest.NewPipeline(ingest.Config{Shards: 4, Block: true})
+	pipeline := ingest.NewPipeline(ingest.Config{Shards: 4, Block: true, Tracer: tracer})
 	defer pipeline.Close()
 	col := world.newCollector(pipeline, "bench")
 	// The production collector configuration: observation memo on.
 	col.Cache = core.NewObservationCache(0, 0)
+	col.Tracer = tracer
 	mux := http.NewServeMux()
 	mux.Handle("/ingest/batch", ingest.BatchHandler(col))
 	reportd := httptest.NewServer(mux)
@@ -401,11 +413,15 @@ func BenchmarkLiveWireEndToEnd(b *testing.B) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				// Per-worker Prober, as cmd/tlsproxy-probe -fleet runs.
+				// Per-worker Prober, as cmd/tlsproxy-probe -fleet runs —
+				// including the per-probe trace ID in the session id and
+				// on the wire frame (the fleet's default).
 				prober := tlswire.NewProber()
 				dialer := net.Dialer{Timeout: 10 * time.Second}
+				var sidBuf [telemetry.TraceSessionIDLen]byte
 				for j := w; j < probesPerOp; j += workers {
 					host := hosts[j%len(hosts)]
+					trace := telemetry.TraceID(1<<40 | uint64(w&0xffff)<<24 | uint64(j+1)&0xffffff)
 					conn, err := dialer.Dial("tcp", proxyLn.Addr().String())
 					if err != nil {
 						b.Error(err)
@@ -413,13 +429,14 @@ func BenchmarkLiveWireEndToEnd(b *testing.B) {
 					}
 					res, err := prober.Probe(conn, tlswire.ProbeOptions{
 						ServerName: host, Timeout: 10 * time.Second,
+						SessionID: telemetry.AppendTraceSessionID(sidBuf[:0], trace),
 					})
 					conn.Close()
 					if err != nil {
 						b.Error(err)
 						return
 					}
-					if err := client.Report(ingest.Report{Host: host, ChainDER: res.ChainDER}); err != nil {
+					if err := client.Report(ingest.Report{Host: host, ChainDER: res.ChainDER, Trace: uint64(trace)}); err != nil {
 						b.Error(err)
 						return
 					}
