@@ -1,0 +1,410 @@
+// Command fleetctl orchestrates a distributed measurement run: a
+// reportd cluster on the storage side, many mitmd interception points on
+// the wire side, and a fleet of tlsproxy-probe workers between them.
+//
+//	fleetctl -nodes a=http://127.0.0.1:8081,b=http://127.0.0.1:8082,c=http://127.0.0.1:8083 \
+//	         -targets 127.0.0.1:8443,127.0.0.1:8444 \
+//	         -probe-bin ./bin/tlsproxy-probe -fleet 4 -count 50 \
+//	         -hosts tlsresearch.byu.edu -reference ref.pem
+//
+// fleetctl launches one probe subprocess per mitmd target (each running
+// -fleet concurrent workers), spreads their report uploads across the
+// cluster round-robin — the nodes' not-owner verdicts and the upload
+// client's retargeting route every batch to its owning node — and
+// monitors node health the whole run: a node that stops answering is
+// declared dead to every surviving peer, which re-routes ingest and
+// seals the dead node's replica streams.
+//
+// On completion fleetctl drives the deterministic cross-node merge:
+// every live node's own shards via /cluster/snapshot, every dead node's
+// shards via /cluster/replica from the surviving peer holding its
+// replicated WAL, folded through store.Merge (canonical order — the
+// same merge the golden-table conformance suite pins) and rendered as
+// the paper tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tlsfof/internal/analysis"
+	"tlsfof/internal/cluster"
+	"tlsfof/internal/geo"
+	"tlsfof/internal/store"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleetctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func logf(format string, args ...any) {
+	fmt.Printf("fleetctl: "+format+"\n", args...)
+}
+
+// fleet is the orchestrator state: the cluster view it maintains and
+// the probe subprocesses it supervises.
+type fleet struct {
+	members *cluster.Membership
+	httpc   *http.Client
+
+	mu    sync.Mutex
+	procs []*exec.Cmd
+}
+
+// aliveMembers snapshots the members still routable.
+func (f *fleet) aliveMembers() []cluster.Member {
+	var out []cluster.Member
+	for _, m := range f.members.Members() {
+		if m.State == cluster.Alive {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// post fires one control POST, returning any transport or status error.
+func (f *fleet) post(url string) error {
+	resp, err := f.httpc.Post(url, "", nil)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// broadcastDead tells every surviving peer that id is gone. Best-effort:
+// a peer that cannot be reached is itself about to be declared dead.
+func (f *fleet) broadcastDead(id string) {
+	f.members.MarkDead(id)
+	for _, m := range f.aliveMembers() {
+		if err := f.post(m.URL + "/cluster/dead?node=" + id); err != nil {
+			logf("peer %s rejected dead-mark of %s: %v", m.ID, id, err)
+		}
+	}
+	logf("node %s declared dead to the fleet", id)
+}
+
+// drainNode drains id: the node itself first (it starts refusing new
+// writes), then the broadcast so peers stop bouncing traffic back.
+func (f *fleet) drainNode(id string) {
+	m, ok := f.members.Get(id)
+	if !ok {
+		logf("cannot drain unknown node %q", id)
+		return
+	}
+	if err := f.post(m.URL + "/cluster/drain"); err != nil {
+		logf("drain of %s failed: %v", id, err)
+		return
+	}
+	f.members.MarkDraining(id)
+	for _, peer := range f.aliveMembers() {
+		if err := f.post(peer.URL + "/cluster/draining?node=" + id); err != nil {
+			logf("peer %s rejected drain-mark of %s: %v", peer.ID, id, err)
+		}
+	}
+	logf("node %s draining", id)
+}
+
+// healthLoop polls every member's /cluster/status; fails consecutive
+// misses before declaring death, so one slow scrape does not shrink the
+// cluster.
+func (f *fleet) healthLoop(every time.Duration, fails int, stop <-chan struct{}) {
+	misses := make(map[string]int)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		for _, m := range f.members.Members() {
+			if m.State == cluster.Dead {
+				continue
+			}
+			resp, err := f.httpc.Get(m.URL + "/cluster/status")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode == http.StatusOK {
+				misses[m.ID] = 0
+				continue
+			}
+			misses[m.ID]++
+			if misses[m.ID] >= fails {
+				f.broadcastDead(m.ID)
+			}
+		}
+	}
+}
+
+// launchProbes starts one probe subprocess per mitmd target, uploads
+// spread round-robin across the alive nodes. The probe's ingest client
+// follows not-owner verdicts on its own, so any node is a valid first
+// hop.
+func (f *fleet) launchProbes(bin string, targets []string, args probeArgs) error {
+	alive := f.aliveMembers()
+	if len(alive) == 0 {
+		return fmt.Errorf("no alive nodes to report to")
+	}
+	for i, target := range targets {
+		node := alive[i%len(alive)]
+		argv := []string{
+			"-addr", target,
+			"-fleet", strconv.Itoa(args.fleet),
+			"-report", node.URL + "/ingest/batch",
+			"-batch", strconv.Itoa(args.batch),
+		}
+		if args.count > 0 {
+			argv = append(argv, "-count", strconv.Itoa(args.count))
+		} else {
+			argv = append(argv, "-duration", args.duration.String())
+		}
+		if args.hosts != "" {
+			argv = append(argv, "-hosts", args.hosts)
+		}
+		if args.reference != "" {
+			argv = append(argv, "-reference", args.reference)
+		}
+		if args.extra != "" {
+			argv = append(argv, strings.Fields(args.extra)...)
+		}
+		cmd := exec.Command(bin, argv...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("probe for %s: %w", target, err)
+		}
+		logf("probe[%d] pid %d -> mitmd %s, reporting to %s", i, cmd.Process.Pid, target, node.ID)
+		f.mu.Lock()
+		f.procs = append(f.procs, cmd)
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// waitProbes blocks until every probe subprocess exits, reporting the
+// first failure.
+func (f *fleet) waitProbes() error {
+	f.mu.Lock()
+	procs := append([]*exec.Cmd(nil), f.procs...)
+	f.mu.Unlock()
+	var first error
+	for i, cmd := range procs {
+		if err := cmd.Wait(); err != nil && first == nil {
+			first = fmt.Errorf("probe[%d]: %w", i, err)
+		}
+	}
+	return first
+}
+
+type probeArgs struct {
+	fleet     int
+	count     int
+	duration  time.Duration
+	batch     int
+	hosts     string
+	reference string
+	extra     string
+}
+
+// fetchSnapshot pulls and decodes one store snapshot endpoint.
+func (f *fleet) fetchSnapshot(url string) (*store.DB, error) {
+	resp, err := f.httpc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return store.DecodeSnapshot(body)
+}
+
+// mergeCluster assembles the deterministic cross-node merge: every
+// non-dead node's own shards, plus each dead node's shards recovered
+// from whichever survivor holds its replica. Exactly one store per
+// node — double-counting a shard would shift every table.
+func (f *fleet) mergeCluster() (*store.DB, error) {
+	var dbs []*store.DB
+	var dead []string
+	var serving []cluster.Member
+	for _, m := range f.members.Members() {
+		if m.State == cluster.Dead {
+			dead = append(dead, m.ID)
+			continue
+		}
+		// Draining nodes still serve reads; their shards are theirs.
+		serving = append(serving, m)
+		db, err := f.fetchSnapshot(m.URL + "/cluster/snapshot")
+		if err != nil {
+			return nil, fmt.Errorf("snapshot from %s: %w", m.ID, err)
+		}
+		dbs = append(dbs, db)
+		logf("node %s: %d tested, %d proxied", m.ID, db.Totals().Tested, db.Totals().Proxied)
+	}
+	for _, id := range dead {
+		var db *store.DB
+		var lastErr error
+		for _, m := range serving {
+			got, err := f.fetchSnapshot(m.URL + "/cluster/replica?node=" + id)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			db = got
+			logf("node %s (dead): recovered from %s's replica: %d tested, %d proxied",
+				id, m.ID, db.Totals().Tested, db.Totals().Proxied)
+			break
+		}
+		if db == nil {
+			return nil, fmt.Errorf("no survivor holds a replica of dead node %s: %v", id, lastErr)
+		}
+		dbs = append(dbs, db)
+	}
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("nothing to merge")
+	}
+	return store.Merge(0, dbs...), nil
+}
+
+// renderTables writes the paper tables the merged store supports.
+func renderTables(w io.Writer, db *store.DB) error {
+	gdb := geo.NewDB()
+	t := db.Totals()
+	fmt.Fprintf(w, "merged: %d tested, %d proxied (%.2f%%)\n\n", t.Tested, t.Proxied, 100*t.Rate())
+	for _, render := range []func() error{
+		func() error { return analysis.Table3(w, db, gdb) },
+		func() error { return analysis.Table4(w, db, 0) },
+		func() error { return analysis.Table5(w, db) },
+		func() error { return analysis.Table6(w, db) },
+		func() error { return analysis.Table7(w, db, gdb) },
+		func() error { return analysis.Table8(w, db) },
+		func() error { return analysis.Negligence(w, db) },
+		func() error { return analysis.Products(w, db, 0) },
+	} {
+		if err := render(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		nodesSpec = flag.String("nodes", "", "reportd cluster members as id=url,id=url,... (required)")
+		targets   = flag.String("targets", "", "comma-separated mitmd addresses to probe (host:port,...)")
+		probeBin  = flag.String("probe-bin", "tlsproxy-probe", "tlsproxy-probe binary to launch per target")
+		fleetN    = flag.Int("fleet", 4, "concurrent probe workers per target")
+		count     = flag.Int("count", 0, "probes per worker (0 = use -duration)")
+		duration  = flag.Duration("duration", 10*time.Second, "per-probe wall-clock budget when -count is 0")
+		hosts     = flag.String("hosts", "", "comma-separated SNI names the probes rotate over")
+		reference = flag.String("reference", "", "authoritative chain PEM handed to each probe")
+		batch     = flag.Int("batch", 256, "reports per probe upload batch")
+		probeXtra = flag.String("probe-args", "", "extra arguments appended to every probe command line")
+
+		healthEvery = flag.Duration("health-every", 500*time.Millisecond, "node health poll cadence")
+		healthFails = flag.Int("health-fails", 3, "consecutive failed health polls before a node is declared dead")
+		drainIDs    = flag.String("drain", "", "comma-separated node IDs to drain after -drain-after")
+		deadIDs     = flag.String("dead", "", "comma-separated node IDs already known dead (broadcast before the run; their shards merge from replicas)")
+		drainAfter  = flag.Duration("drain-after", 2*time.Second, "delay before draining -drain nodes")
+
+		merge   = flag.Bool("merge", true, "fetch and merge every node's tables at the end of the run")
+		outPath = flag.String("out", "", "write merged tables here (default stdout)")
+		timeout = flag.Duration("timeout", 30*time.Second, "HTTP timeout for cluster control calls")
+	)
+	flag.Parse()
+
+	if *nodesSpec == "" {
+		fatalf("-nodes is required")
+	}
+	memberList, err := cluster.ParseMembers(*nodesSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	members, err := cluster.NewMembership(memberList, 0)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f := &fleet{members: members, httpc: &http.Client{Timeout: *timeout}}
+
+	for _, id := range strings.Split(*deadIDs, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			f.broadcastDead(id)
+		}
+	}
+
+	// The run is bounded by the probes; the health loop runs alongside.
+	stopHealth := make(chan struct{})
+	go f.healthLoop(*healthEvery, *healthFails, stopHealth)
+
+	if *drainIDs != "" {
+		go func() {
+			time.Sleep(*drainAfter)
+			for _, id := range strings.Split(*drainIDs, ",") {
+				if id = strings.TrimSpace(id); id != "" {
+					f.drainNode(id)
+				}
+			}
+		}()
+	}
+
+	if *targets != "" {
+		var targetList []string
+		for _, tgt := range strings.Split(*targets, ",") {
+			if tgt = strings.TrimSpace(tgt); tgt != "" {
+				targetList = append(targetList, tgt)
+			}
+		}
+		args := probeArgs{
+			fleet: *fleetN, count: *count, duration: *duration,
+			batch: *batch, hosts: *hosts, reference: *reference, extra: *probeXtra,
+		}
+		if err := f.launchProbes(*probeBin, targetList, args); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.waitProbes(); err != nil {
+			logf("probe failure (continuing to merge): %v", err)
+		}
+		logf("all probes finished")
+	}
+	close(stopHealth)
+
+	if !*merge {
+		return
+	}
+	db, err := f.mergeCluster()
+	if err != nil {
+		fatalf("merge: %v", err)
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		file, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer file.Close()
+		out = file
+	}
+	if err := renderTables(out, db); err != nil {
+		fatalf("render: %v", err)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"tlsfof/internal/certgen"
 	"tlsfof/internal/chaincache"
 	"tlsfof/internal/classify"
+	"tlsfof/internal/cluster"
 	"tlsfof/internal/core"
 	"tlsfof/internal/durable"
 	"tlsfof/internal/geo"
@@ -73,12 +74,22 @@ type serverConfig struct {
 	snapshotEvery time.Duration
 	refs          []hostChain
 	logw          io.Writer // server log destination (os.Stdout in main)
+
+	// clusterID switches the server into cluster mode (DESIGN.md §12):
+	// storage runs through a cluster.Node (per-shard WALs, peer
+	// replication, ring routing) instead of the ingest pipeline, and the
+	// /cluster/* + /repl/tail surfaces are mounted. clusterPeers is the
+	// full "id=url,..." member list including this node.
+	clusterID    string
+	clusterPeers string
 }
 
-// server is the assembled reporting server.
+// server is the assembled reporting server. Exactly one of pipeline
+// (single-node mode) or node (cluster mode) is non-nil.
 type server struct {
 	cfg      serverConfig
 	pipeline *ingest.Pipeline
+	node     *cluster.Node
 	col      *core.Collector
 	httpSrv  *http.Server
 	ln       net.Listener
@@ -105,22 +116,53 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(reg, 0)
-	pcfg := ingest.Config{
-		Shards:     cfg.shards,
-		BatchSize:  cfg.batch,
-		QueueDepth: cfg.queue,
-		Block:      true, // reports are precious: backpressure, never drop
-		Tracer:     tracer,
+	var pipeline *ingest.Pipeline
+	var node *cluster.Node
+	var recovery []durable.Info
+	var sink core.Sink
+	if cfg.clusterID != "" {
+		if cfg.dataDir == "" {
+			return nil, fmt.Errorf("reportd: cluster mode requires -data-dir")
+		}
+		members, err := cluster.ParseMembers(cfg.clusterPeers)
+		if err != nil {
+			return nil, err
+		}
+		node, err = cluster.Open(cluster.Config{
+			ID:      cfg.clusterID,
+			Members: members,
+			DataDir: cfg.dataDir,
+			Shards:  cfg.shards,
+			Registry: reg,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(cfg.logw, "reportd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		node.Start()
+		sink = node
+	} else {
+		pcfg := ingest.Config{
+			Shards:     cfg.shards,
+			BatchSize:  cfg.batch,
+			QueueDepth: cfg.queue,
+			Block:      true, // reports are precious: backpressure, never drop
+			Tracer:     tracer,
+		}
+		if cfg.dataDir != "" {
+			pcfg.WALDir = cfg.dataDir
+		}
+		var err error
+		pipeline, recovery, err = ingest.OpenPipeline(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		pipeline.MountMetrics(reg)
+		sink = pipeline
 	}
-	if cfg.dataDir != "" {
-		pcfg.WALDir = cfg.dataDir
-	}
-	pipeline, recovery, err := ingest.OpenPipeline(pcfg)
-	if err != nil {
-		return nil, err
-	}
-	pipeline.MountMetrics(reg)
-	col := core.NewCollector(classify.NewClassifier(), geo.NewDB(), pipeline)
+	col := core.NewCollector(classify.NewClassifier(), geo.NewDB(), sink)
 	col.Campaign = cfg.campaign
 	col.Tracer = tracer
 	if cfg.obsCache > 0 {
@@ -134,7 +176,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		fmt.Fprintf(cfg.logw, "reportd: registered authoritative chain for %s (%d certs)\n", ref.host, len(ref.chain))
 	}
 	s := &server{
-		cfg: cfg, pipeline: pipeline, col: col, recovery: recovery, started: time.Now(),
+		cfg: cfg, pipeline: pipeline, node: node, col: col, recovery: recovery, started: time.Now(),
 		reg: reg, tracer: tracer, ring: telemetry.NewEventRing(0),
 	}
 	for i, info := range recovery {
@@ -158,6 +200,10 @@ func recoveryNote(info durable.Info) string {
 // drained first so every already-POSTed report is visible. It is
 // O(retained records) — export-path only.
 func (s *server) snapshot() *store.DB {
+	if s.node != nil {
+		// Cluster ingest is synchronous-durable; there is no queue to drain.
+		return s.node.MergeLocal()
+	}
 	s.pipeline.Drain()
 	return s.pipeline.Merge(0)
 }
@@ -165,10 +211,16 @@ func (s *server) snapshot() *store.DB {
 // summary answers /stats from per-shard aggregates without touching
 // retained records, so polling stays cheap at any store size.
 func (s *server) summary() string {
-	s.pipeline.Drain()
+	var dbs []*store.DB
+	if s.node != nil {
+		dbs = []*store.DB{s.node.MergeLocal()}
+	} else {
+		s.pipeline.Drain()
+		dbs = s.pipeline.Stores()
+	}
 	var tot store.Agg
 	countries := make(map[string]struct{})
-	for _, db := range s.pipeline.Stores() {
+	for _, db := range dbs {
 		t := db.Totals()
 		tot.Tested += t.Tested
 		tot.Proxied += t.Proxied
@@ -185,8 +237,15 @@ func (s *server) summary() string {
 func (s *server) metrics() map[string]any {
 	m := map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
-		"ingest":         s.pipeline.Stats(),
 	}
+	if s.node != nil {
+		m["cluster"] = s.node.Status()
+		if s.col.Cache != nil {
+			m["cache"] = s.col.Cache.Stats()
+		}
+		return m
+	}
+	m["ingest"] = s.pipeline.Stats()
 	if wal := s.pipeline.WALStats(); wal != nil {
 		m["wal"] = wal
 		var bytes, fsyncs, frames uint64
@@ -211,8 +270,28 @@ func (s *server) metrics() map[string]any {
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/report", s.col)
-	mux.Handle("/ingest/batch", ingest.BatchHandler(s.col))
-	mux.Handle("/ingest/stats", ingest.StatsHandler(s.pipeline))
+	if s.node != nil {
+		// Cluster mode: the batch endpoint enforces ring ownership
+		// all-or-nothing (clients retarget on the not-owner verdict), and
+		// the node's control/replication surface rides on the same mux.
+		router := ingest.Router{
+			Owns: func(host string) bool {
+				owned, _ := s.node.Owns(host)
+				return owned
+			},
+			Owner: func(host string) (string, string) {
+				_, owner := s.node.Owns(host)
+				return owner.ID, owner.URL
+			},
+		}
+		mux.Handle("/ingest/batch", ingest.RoutedBatchHandler(s.col, router))
+		nodeHandler := s.node.Handler()
+		mux.Handle("/cluster/", nodeHandler)
+		mux.Handle("/repl/", nodeHandler)
+	} else {
+		mux.Handle("/ingest/batch", ingest.BatchHandler(s.col))
+		mux.Handle("/ingest/stats", ingest.StatsHandler(s.pipeline))
+	}
 	// One exposition handler serves both formats: the legacy JSON keys
 	// (uptime_seconds, ingest, wal, wal_totals, cache) survive verbatim,
 	// the registry rides along under "telemetry", and ?format=prometheus
@@ -279,7 +358,7 @@ func (s *server) serve(sig <-chan os.Signal) error {
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
-	if s.cfg.snapshotEvery > 0 && s.cfg.dataDir != "" {
+	if s.cfg.snapshotEvery > 0 && s.cfg.dataDir != "" && s.pipeline != nil {
 		ticker = time.NewTicker(s.cfg.snapshotEvery)
 		tick = ticker.C
 		defer ticker.Stop()
@@ -312,15 +391,23 @@ func (s *server) serve(sig <-chan os.Signal) error {
 				time.Sleep(500 * time.Millisecond)
 				err = nil // mitigated; only persistence failures below are fatal
 			}
-			s.pipeline.Drain()
-			if cerr := s.pipeline.Close(); err == nil {
-				err = cerr
-			}
-			if s.cfg.dataDir != "" {
-				for i := 0; i < s.cfg.shards; i++ {
-					opt := durable.Options{Dir: filepath.Join(s.cfg.dataDir, fmt.Sprintf("shard-%03d", i))}
-					if _, serr := durable.Snapshot(opt); serr != nil && err == nil {
-						err = serr
+			if s.node != nil {
+				// Cluster shutdown: stop followers (final replica sync),
+				// fsync and close every WAL.
+				if cerr := s.node.Close(); err == nil {
+					err = cerr
+				}
+			} else {
+				s.pipeline.Drain()
+				if cerr := s.pipeline.Close(); err == nil {
+					err = cerr
+				}
+				if s.cfg.dataDir != "" {
+					for i := 0; i < s.cfg.shards; i++ {
+						opt := durable.Options{Dir: filepath.Join(s.cfg.dataDir, fmt.Sprintf("shard-%03d", i))}
+						if _, serr := durable.Snapshot(opt); serr != nil && err == nil {
+							err = serr
+						}
 					}
 				}
 			}
@@ -337,6 +424,10 @@ func (s *server) serve(sig <-chan os.Signal) error {
 // summaryClosed renders the final store line without draining (the
 // pipeline is already closed).
 func (s *server) summaryClosed() string {
+	if s.node != nil {
+		t := s.node.MergeLocal().Totals()
+		return fmt.Sprintf("%d tested, %d proxied", t.Tested, t.Proxied)
+	}
 	var tot store.Agg
 	for _, db := range s.pipeline.Stores() {
 		if db == nil {
@@ -364,6 +455,8 @@ func main() {
 		snapEvery = flag.Duration("snapshot-every", 0, "checkpoint the WALs on this cadence (e.g. 5m; 0 = only at shutdown; with -data-dir)")
 		pprofA    = flag.String("pprof", "", "serve net/http/pprof on this address (disabled when empty)")
 		selfRef   = flag.String("selfsigned", "", "generate an in-process self-signed authoritative chain for this host (smoke tests / CI; no PEM files needed)")
+		clusterID = flag.String("cluster-id", "", "run as this member of a reportd cluster (requires -cluster-peers and -data-dir)")
+		clusterPs = flag.String("cluster-peers", "", "full cluster member list as id=url,id=url,... (including this node)")
 	)
 	flag.Parse()
 
@@ -432,6 +525,8 @@ func main() {
 		snapshotEvery: *snapEvery,
 		refs:          refs,
 		logw:          os.Stdout,
+		clusterID:     *clusterID,
+		clusterPeers:  *clusterPs,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -447,6 +542,9 @@ func main() {
 	durableNote := ""
 	if *dataDir != "" {
 		durableNote = fmt.Sprintf(", durable WAL in %s", *dataDir)
+	}
+	if *clusterID != "" {
+		durableNote += fmt.Sprintf(", cluster member %q of [%s]", *clusterID, *clusterPs)
 	}
 	fmt.Printf("reportd: listening on %s with %d ingest shards, obs cache %d%s (POST /report?host=..., POST /ingest/batch, GET /stats, /metrics, /ingest/stats, /cache/stats, /export.csv, /table/{4,5,6,negligence,products})\n",
 		srv.addr(), *shards, *obsCache, durableNote)

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"tlsfof/internal/core"
+	"tlsfof/internal/ingest"
+)
+
+// DefaultRouteBatch is measurements buffered per owner before a flush.
+const DefaultRouteBatch = 512
+
+// RouteStats is the router's delivery accounting: with sync-acked nodes,
+// Delivered + buffered == ingested, and Lost must stay zero.
+type RouteStats struct {
+	Ingested       uint64 `json:"ingested"`
+	Delivered      uint64 `json:"delivered"`
+	Batches        uint64 `json:"batches"`
+	Retries        uint64 `json:"retries"`
+	NotOwnerRetries uint64 `json:"not_owner_retries"`
+	Rerouted       uint64 `json:"rerouted"`
+	DeadMarked     uint64 `json:"dead_marked"`
+	Lost           uint64 `json:"lost"`
+}
+
+// RouteConfig configures a RouteClient.
+type RouteConfig struct {
+	// Members is the router's cluster view. The client updates it (marks
+	// nodes dead) when delivery proves a node gone.
+	Members *Membership
+	// HTTPClient defaults to a 30s-timeout client.
+	HTTPClient *http.Client
+	// BatchSize is per-owner buffering (default DefaultRouteBatch).
+	BatchSize int
+	// Retries is transport-level retries per batch before the target is
+	// declared dead (default 2).
+	Retries int
+	// RetryDelay sleeps between transport retries (default 50ms).
+	RetryDelay time.Duration
+	// Logf, when set, receives routing one-liners.
+	Logf func(format string, args ...any)
+}
+
+// RouteClient is a core.Sink that routes measurements to the cluster
+// node owning each host. It buffers one batch per owner, reroutes on
+// not-owner verdicts (a draining or stale target names the new owner)
+// and on node death, and records delivery accounting strong enough for
+// the kill test to assert zero loss. Ingest and Flush serialize on one
+// lock — use one RouteClient per producing goroutine or accept the
+// serialization.
+type RouteClient struct {
+	cfg RouteConfig
+
+	mu    sync.Mutex
+	bufs  map[string][]core.Measurement
+	stats RouteStats
+	err   error
+}
+
+// NewRouteClient builds a router over cfg.Members (required).
+func NewRouteClient(cfg RouteConfig) (*RouteClient, error) {
+	if cfg.Members == nil {
+		return nil, fmt.Errorf("cluster: RouteConfig.Members required")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultRouteBatch
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 50 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &RouteClient{cfg: cfg, bufs: make(map[string][]core.Measurement)}, nil
+}
+
+// Ingest buffers one measurement toward its owning node, flushing the
+// owner's batch when full. Satisfies core.Sink.
+func (rc *RouteClient) Ingest(m core.Measurement) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.stats.Ingested++
+	rc.enqueueLocked(m, 0)
+}
+
+func (rc *RouteClient) enqueueLocked(m core.Measurement, depth int) {
+	if depth > 8 {
+		rc.fail(fmt.Errorf("cluster: reroute depth exhausted for host %s", m.Host))
+		return
+	}
+	owner, ok := rc.cfg.Members.Owner(m.Host)
+	if !ok {
+		rc.fail(fmt.Errorf("cluster: no alive owner for host %s", m.Host))
+		return
+	}
+	rc.bufs[owner.ID] = append(rc.bufs[owner.ID], m)
+	if len(rc.bufs[owner.ID]) >= rc.cfg.BatchSize {
+		rc.flushOwnerLocked(owner.ID, depth+1)
+	}
+}
+
+// Flush delivers every buffered batch and returns the first error the
+// router has ever hit (delivery gaps are never silent).
+func (rc *RouteClient) Flush() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for id := range rc.bufs {
+		rc.flushOwnerLocked(id, 0)
+	}
+	return rc.err
+}
+
+// Err returns the sticky first error.
+func (rc *RouteClient) Err() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.err
+}
+
+// Stats returns a copy of the delivery accounting.
+func (rc *RouteClient) Stats() RouteStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.stats
+}
+
+func (rc *RouteClient) fail(err error) {
+	rc.stats.Lost++
+	if rc.err == nil {
+		rc.err = err
+	}
+	rc.cfg.Logf("cluster route: %v", err)
+}
+
+// flushOwnerLocked delivers one owner's buffered batch, handling the
+// three verdicts: accepted; not-owner (re-split against the current
+// ring — the membership may have moved on since the batch buffered);
+// transport death (mark the node dead, re-split). Re-split measurements
+// re-enter through enqueueLocked, so every hop re-consults the ring.
+func (rc *RouteClient) flushOwnerLocked(id string, depth int) {
+	batch := rc.bufs[id]
+	if len(batch) == 0 {
+		return
+	}
+	delete(rc.bufs, id)
+	reroute := func(why string) {
+		rc.stats.Rerouted += uint64(len(batch))
+		rc.cfg.Logf("cluster route: rerouting %d measurements away from %s (%s)", len(batch), id, why)
+		for _, m := range batch {
+			rc.enqueueLocked(m, depth+1)
+		}
+	}
+	member, ok := rc.cfg.Members.Get(id)
+	if !ok || member.State != Alive {
+		reroute("no longer alive")
+		return
+	}
+	res, err := rc.postBatch(member, batch)
+	switch {
+	case err != nil:
+		// Transport-level failure after retries: declare the node dead so
+		// the ring moves on, then re-split. With sync-acked ingest an
+		// undelivered batch never touched the dead node's WAL, so the
+		// retry cannot double count.
+		if rc.cfg.Members.MarkDead(id) {
+			rc.stats.DeadMarked++
+			rc.cfg.Logf("cluster route: marked %s dead after %v", id, err)
+		}
+		reroute("delivery failed")
+	case res.NotOwner:
+		// The node disowns the batch under its own view (draining, or it
+		// saw a death we have not). Fold that into our view — otherwise
+		// the re-split consults our stale ring and targets the same node
+		// forever.
+		rc.stats.NotOwnerRetries++
+		rc.cfg.Members.MarkDraining(id)
+		reroute(fmt.Sprintf("not owner, moved to %s", res.Owner))
+	case res.Error != "":
+		rc.fail(fmt.Errorf("cluster: node %s rejected batch: %s", id, res.Error))
+	default:
+		rc.stats.Delivered += uint64(res.Accepted)
+		rc.stats.Batches++
+	}
+}
+
+// postBatch sends one encoded batch with transport retries. A non-2xx
+// status or connection error after the retry budget returns an error;
+// decoded verdicts (including not-owner) return normally.
+func (rc *RouteClient) postBatch(member Member, ms []core.Measurement) (ingest.BatchResult, error) {
+	body := AppendMeasurements(nil, ms)
+	var lastErr error
+	for attempt := 0; attempt <= rc.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			rc.stats.Retries++
+			time.Sleep(rc.cfg.RetryDelay)
+		}
+		resp, err := rc.cfg.HTTPClient.Post(member.URL+"/cluster/ingest", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var res ingest.BatchResult
+		derr := json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && derr == nil {
+			return res, nil
+		}
+		if resp.StatusCode == http.StatusBadRequest {
+			// The node decoded our batch and refused it wholesale; a
+			// retry cannot fix an encoding problem.
+			return res, nil
+		}
+		lastErr = fmt.Errorf("cluster: %s: HTTP %d", member.URL, resp.StatusCode)
+	}
+	return ingest.BatchResult{}, lastErr
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"crypto/x509"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tlsfof/internal/classify"
+	"tlsfof/internal/core"
+	"tlsfof/internal/hostdb"
+	"tlsfof/internal/stats"
+	"tlsfof/internal/store"
+)
+
+// testMeasurements builds a deterministic stream spread over enough
+// distinct hosts that any ring partition splits it across every node.
+func testMeasurements(n int, seed uint64) []core.Measurement {
+	r := stats.NewRNG(seed)
+	countries := []string{"US", "BR", "IN", "DE", "??", "JP"}
+	cats := []hostdb.Category{hostdb.Popular, hostdb.Business, hostdb.Popular}
+	campaigns := []string{"broad", "targeted-br"}
+	epoch := time.Date(2014, time.October, 8, 16, 0, 0, 0, time.UTC)
+	ms := make([]core.Measurement, 0, n)
+	for i := 0; i < n; i++ {
+		hi := r.Intn(24)
+		m := core.Measurement{
+			Time:         epoch.Add(time.Duration(i) * time.Minute),
+			ClientIP:     uint32(r.Uint64()>>16) | 1,
+			Country:      countries[r.Intn(len(countries))],
+			Host:         fmt.Sprintf("host-%02d.example", hi),
+			HostCategory: cats[hi%len(cats)],
+			Campaign:     campaigns[r.Intn(len(campaigns))],
+		}
+		if r.Bool(0.35) {
+			bits := []int{512, 1024, 2048, 2432}[r.Intn(4)]
+			m.Obs = core.Observation{
+				Proxied:     true,
+				IssuerOrg:   "Fortinet",
+				IssuerCN:    "FortiGate CA",
+				ProductName: "FortiGate",
+				KeyBits:     bits,
+				WeakKey:     bits < 2048,
+				SigAlg:      x509.SHA256WithRSA,
+				ChainLen:    1 + r.Intn(3),
+				Category:    classify.Category(r.Intn(5)),
+			}
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// canonSnapshot renders a store through one more canonical merge so any
+// two stores holding the same measurements compare byte-identical
+// regardless of how the cluster partitioned them.
+func canonSnapshot(dbs ...*store.DB) []byte {
+	return store.Merge(0, dbs...).AppendSnapshot(nil)
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	r1 := NewRing([]string{"a", "b", "c"}, 0)
+	r2 := NewRing([]string{"c", "b", "a", "b", ""}, 0) // order and junk must not matter
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("host-%04d.example", i)
+		o1, ok1 := r1.Owner(k)
+		o2, ok2 := r2.Owner(k)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("key %q: owners %q/%q (ok %v/%v) differ across build orders", k, o1, o2, ok1, ok2)
+		}
+		counts[o1]++
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if counts[id] < keys*15/100 {
+			t.Fatalf("node %s owns only %d/%d keys; vnode smoothing failed: %v", id, counts[id], keys, counts)
+		}
+	}
+	if _, ok := NewRing(nil, 0).Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}
+
+func TestRingSuccessor(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	seen := map[string]string{}
+	for _, id := range r.Nodes() {
+		succ, ok := r.Successor(id)
+		if !ok || succ == id {
+			t.Fatalf("successor of %s = %q, %v", id, succ, ok)
+		}
+		seen[id] = succ
+	}
+	// Deterministic across rebuilds.
+	again := NewRing([]string{"c", "a", "b"}, 0)
+	for id, want := range seen {
+		if got, _ := again.Successor(id); got != want {
+			t.Fatalf("successor of %s changed across builds: %s then %s", id, want, got)
+		}
+	}
+	if _, ok := NewRing([]string{"solo"}, 0).Successor("solo"); ok {
+		t.Fatal("one-node ring produced a successor")
+	}
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	members := []Member{{ID: "a", URL: "http://a"}, {ID: "b", URL: "http://b"}, {ID: "c", URL: "http://c"}}
+	ms, err := NewMembership(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Epoch() != 0 || ms.AliveCount() != 3 {
+		t.Fatalf("fresh view: epoch %d, alive %d", ms.Epoch(), ms.AliveCount())
+	}
+	// Find a host a owns, drain a, and watch ownership move.
+	var host string
+	for i := 0; ; i++ {
+		h := fmt.Sprintf("host-%d.example", i)
+		if m, ok := ms.Owner(h); ok && m.ID == "a" {
+			host = h
+			break
+		}
+	}
+	if !ms.MarkDraining("a") {
+		t.Fatal("draining transition reported no change")
+	}
+	if ms.Epoch() != 1 {
+		t.Fatalf("epoch after drain = %d", ms.Epoch())
+	}
+	if m, _ := ms.Owner(host); m.ID == "a" {
+		t.Fatal("draining member still owns ring arcs")
+	}
+	if ms.MarkDraining("a") {
+		t.Fatal("repeated transition claimed a change")
+	}
+	if !ms.MarkDead("a") {
+		t.Fatal("draining→dead refused")
+	}
+	if ms.SetState("a", Alive) {
+		t.Fatal("dead is terminal; resurrection must be refused")
+	}
+	if ms.AliveCount() != 2 || ms.Epoch() != 2 {
+		t.Fatalf("after death: alive %d, epoch %d", ms.AliveCount(), ms.Epoch())
+	}
+	if _, err := NewMembership([]Member{{ID: "x"}, {ID: "x"}}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	got, err := ParseMembers("a=http://127.0.0.1:1,b=http://127.0.0.1:2/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "a" || got[1].URL != "http://127.0.0.1:2" {
+		t.Fatalf("parsed %+v", got)
+	}
+	for _, bad := range []string{"", "a", "=url", "a="} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Fatalf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMeasWireRoundTripAndDamage(t *testing.T) {
+	ms := testMeasurements(50, 3)
+	enc := AppendMeasurements(nil, ms)
+	dec, err := DecodeMeasurements(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(ms) {
+		t.Fatalf("decoded %d of %d", len(dec), len(ms))
+	}
+	// The codec is canonical: re-encoding the decode reproduces the bytes.
+	if re := AppendMeasurements(nil, dec); string(re) != string(enc) {
+		t.Fatal("re-encoded batch differs from the original bytes")
+	}
+	for cut := 1; cut < len(enc); cut += 97 {
+		if _, err := DecodeMeasurements(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	if _, err := DecodeMeasurements(append(append([]byte{}, enc...), 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeMeasurements([]byte("TFM0")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	huge := append([]byte(measMagic), 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := DecodeMeasurements(huge); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized count: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tlsfof/internal/core"
+)
+
+// Measurement batch wire, the /cluster/ingest request body:
+//
+//	batch   = magic "TFM1" | count uvarint | count × record
+//	record  = len uvarint | payload (one encoded core.Measurement)
+//
+// The count is up front so a node can reject a batch atomically: either
+// every record decodes and the whole batch is applied, or nothing is —
+// the property that makes rerouted retries duplicate-free. Payload bytes
+// are the same core codec the WAL frames, so a routed batch appends to
+// the owner's WAL without re-encoding.
+const (
+	measMagic = "TFM1"
+	// MaxMeasBatchBytes bounds one ingest request body.
+	MaxMeasBatchBytes = 32 << 20
+	// MaxMeasBatch bounds records per batch.
+	MaxMeasBatch = 1 << 17
+)
+
+// AppendMeasurements encodes a batch.
+func AppendMeasurements(dst []byte, ms []core.Measurement) []byte {
+	dst = append(dst, measMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(ms)))
+	var scratch []byte
+	for _, m := range ms {
+		scratch = core.AppendMeasurement(scratch[:0], m)
+		dst = binary.AppendUvarint(dst, uint64(len(scratch)))
+		dst = append(dst, scratch...)
+	}
+	return dst
+}
+
+// DecodeMeasurements decodes a complete batch, rejecting truncation,
+// trailing bytes, and out-of-bounds counts — all-or-nothing by design.
+func DecodeMeasurements(b []byte) ([]core.Measurement, error) {
+	if len(b) < len(measMagic) || string(b[:4]) != measMagic {
+		return nil, fmt.Errorf("cluster: bad batch magic")
+	}
+	rest := b[4:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: bad batch count")
+	}
+	if count > MaxMeasBatch {
+		return nil, fmt.Errorf("cluster: batch of %d records exceeds %d", count, MaxMeasBatch)
+	}
+	rest = rest[n:]
+	ms := make([]core.Measurement, 0, count)
+	for i := uint64(0); i < count; i++ {
+		size, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("cluster: record %d: bad length", i)
+		}
+		rest = rest[n:]
+		if size == 0 || uint64(len(rest)) < size {
+			return nil, fmt.Errorf("cluster: record %d: truncated (%d byte payload, %d left)", i, size, len(rest))
+		}
+		m, tail, err := core.DecodeMeasurement(rest[:size])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: record %d: %w", i, err)
+		}
+		if len(tail) != 0 {
+			return nil, fmt.Errorf("cluster: record %d: %d trailing bytes", i, len(tail))
+		}
+		ms = append(ms, m)
+		rest = rest[size:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after batch", len(rest))
+	}
+	return ms, nil
+}

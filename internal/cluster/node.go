@@ -1,0 +1,726 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlsfof/internal/core"
+	"tlsfof/internal/durable"
+	"tlsfof/internal/ingest"
+	"tlsfof/internal/store"
+	"tlsfof/internal/telemetry"
+)
+
+// ErrNodeKilled is returned by every operation on a killed node.
+var ErrNodeKilled = errors.New("cluster: node killed")
+
+// Config configures one cluster node. ID, Members and DataDir are
+// required; everything else defaults. Shards and VNodes must be uniform
+// across the cluster — they define the hash partition.
+type Config struct {
+	// ID is this node's member ID; it must appear in Members.
+	ID string
+	// Members is the boot-time cluster view.
+	Members []Member
+	// DataDir holds own/shard-NNN WALs and replica/<peer>/shard-NNN
+	// replica WALs.
+	DataDir string
+	// Shards is the per-node local shard count (default 2).
+	Shards int
+	// VNodes is the ring points per node (default DefaultVNodes).
+	VNodes int
+	// Retain caps retained proxied records per shard store (<= 0
+	// unlimited).
+	Retain int
+	// SegmentBytes is the WAL rotation threshold (default 64 MiB).
+	SegmentBytes int64
+	// AckTimeout bounds how long an ingest batch waits for its replica
+	// watermark before acking in degraded mode (default 10s; negative
+	// disables the wait entirely).
+	AckTimeout time.Duration
+	// PollInterval is the follower's idle/backoff cadence (default 25ms).
+	PollInterval time.Duration
+	// LongPoll is how long a caught-up tail request parks server-side
+	// waiting for new frames (default 250ms).
+	LongPoll time.Duration
+	// TailFrames caps frames per tail response (default 8192).
+	TailFrames int
+	// Registry receives replication and rebalance metrics; nil mounts
+	// them on a private registry.
+	Registry *telemetry.Registry
+	// HTTPClient is used by followers (default: 30s timeout).
+	HTTPClient *http.Client
+	// Logf, when set, receives operational one-liners.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 10 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if c.LongPoll <= 0 {
+		c.LongPoll = 250 * time.Millisecond
+	}
+	if c.TailFrames <= 0 {
+		c.TailFrames = 8192
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// shard is one local ingest partition: a WAL and its aggregate store
+// behind one mutex. A batch commits under the mutex (append, fsync,
+// apply), so a batch is either fully durable or untouched — the property
+// that makes retrying an unacknowledged batch elsewhere safe.
+type shard struct {
+	mu      sync.Mutex
+	wal     *durable.Log
+	db      *store.DB
+	lastSeq atomic.Uint64
+
+	// watermark is the replica follower's confirmed position: every seq
+	// < watermark is durable on the peer. It advances when the follower
+	// polls /repl/tail with its next wanted seq.
+	wmu       sync.Mutex
+	watermark uint64
+	wch       chan struct{}
+}
+
+func (sh *shard) setWatermark(from uint64) {
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	if from > sh.watermark {
+		sh.watermark = from
+		close(sh.wch)
+		sh.wch = make(chan struct{})
+	}
+}
+
+func (sh *shard) watermarkNow() uint64 {
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	return sh.watermark
+}
+
+// waitWatermark blocks until the replica confirms every seq <= last,
+// the timeout lapses, or stop closes. True means confirmed.
+func (sh *shard) waitWatermark(last uint64, timeout time.Duration, stop <-chan struct{}) bool {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		sh.wmu.Lock()
+		wm, ch := sh.watermark, sh.wch
+		sh.wmu.Unlock()
+		if wm > last {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return false
+		case <-stop:
+			return false
+		}
+	}
+}
+
+type nodeMetrics struct {
+	tailPolls     *telemetry.Counter
+	framesServed  *telemetry.Counter
+	framesApplied *telemetry.Counter
+	snapsApplied  *telemetry.Counter
+	catchupPolls  *telemetry.Counter
+	ackWaits      *telemetry.Counter
+	ackTimeouts   *telemetry.Counter
+	batches       *telemetry.Counter
+	notOwner      *telemetry.Counter
+	measurements  *telemetry.Counter
+}
+
+// Node is one reportd's cluster runtime: the local shards it owns, the
+// followers replicating its peers, and the HTTP surface gluing the
+// cluster together.
+type Node struct {
+	cfg       Config
+	self      Member
+	members   *Membership
+	shards    []*shard
+	followers []*follower
+	// replicaPeer is the boot-time successor holding this node's
+	// replica ("" in a one-node cluster). Replica topology is fixed at
+	// boot: membership changes reroute ownership immediately, but
+	// followers are not re-targeted mid-run (DESIGN.md §12).
+	replicaPeer string
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	startMu  sync.Mutex
+	started  bool
+	killed   atomic.Bool
+	draining atomic.Bool
+	met      nodeMetrics
+}
+
+// Open recovers the node's own shards and replica logs from DataDir and
+// wires the cluster view. Followers do not run until Start.
+func Open(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" || cfg.DataDir == "" {
+		return nil, fmt.Errorf("cluster: Config.ID and Config.DataDir required")
+	}
+	members, err := NewMembership(cfg.Members, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	self, ok := members.Get(cfg.ID)
+	if !ok {
+		return nil, fmt.Errorf("cluster: node %q not in member list", cfg.ID)
+	}
+	n := &Node{cfg: cfg, self: self, members: members, stop: make(chan struct{})}
+	ownDir := filepath.Join(cfg.DataDir, "own")
+	if err := ingest.PinShardManifest(ownDir, cfg.Shards, cfg.ID); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		opt := n.shardOptions(filepath.Join(ownDir, fmt.Sprintf("shard-%03d", i)))
+		db, info, err := durable.Recover(opt)
+		if err != nil {
+			return nil, err
+		}
+		wal, err := durable.Open(opt)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{wal: wal, db: db, wch: make(chan struct{})}
+		sh.lastSeq.Store(wal.NextSeq() - 1)
+		n.shards = append(n.shards, sh)
+		if info.Replayed > 0 || info.SnapshotSeq > 0 {
+			cfg.Logf("cluster %s: shard %d recovered through seq %d (snapshot %d, %d replayed)",
+				cfg.ID, i, info.LastSeq, info.SnapshotSeq, info.Replayed)
+		}
+	}
+	if peer, ok := members.ReplicaTarget(cfg.ID); ok {
+		n.replicaPeer = peer.ID
+	}
+	// Follow every peer whose replica we hold.
+	for _, m := range members.Members() {
+		if m.ID == cfg.ID || m.State == Dead {
+			continue
+		}
+		target, ok := members.ReplicaTarget(m.ID)
+		if !ok || target.ID != cfg.ID {
+			continue
+		}
+		repRoot := filepath.Join(cfg.DataDir, "replica", m.ID)
+		if err := ingest.PinShardManifest(repRoot, cfg.Shards, cfg.ID); err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.Shards; i++ {
+			dir := filepath.Join(repRoot, fmt.Sprintf("shard-%03d", i))
+			log, err := durable.Open(n.shardOptions(dir))
+			if err != nil {
+				return nil, err
+			}
+			f := &follower{n: n, source: m.ID, shardIdx: i, dir: dir, done: make(chan struct{})}
+			f.log.Store(log)
+			n.followers = append(n.followers, f)
+		}
+	}
+	n.mountMetrics(cfg.Registry)
+	return n, nil
+}
+
+// shardOptions builds WAL options for one shard directory. SyncEvery is
+// disabled: the commit path group-syncs explicitly per batch, and
+// followers sync after each applied stream.
+func (n *Node) shardOptions(dir string) durable.Options {
+	return durable.Options{Dir: dir, SegmentBytes: n.cfg.SegmentBytes, SyncEvery: -1, Retain: n.cfg.Retain}
+}
+
+func (n *Node) mountMetrics(reg *telemetry.Registry) {
+	n.met = nodeMetrics{
+		tailPolls:     reg.Counter("repl_tail_polls_total", "replication tail polls served"),
+		framesServed:  reg.Counter("repl_frames_served_total", "WAL frames served to replica followers"),
+		framesApplied: reg.Counter("repl_frames_applied_total", "WAL frames applied to replica logs"),
+		snapsApplied:  reg.Counter("repl_snapshots_applied_total", "snapshot catch-ups applied to replica logs"),
+		catchupPolls:  reg.Counter("repl_catchup_polls_total", "follower polls that applied at least one record"),
+		ackWaits:      reg.Counter("repl_ack_waits_total", "ingest batches that waited for replica acknowledgement"),
+		ackTimeouts:   reg.Counter("repl_ack_timeouts_total", "ingest batches acked in degraded mode after an ack timeout"),
+		batches:       reg.Counter("cluster_ingest_batches_total", "measurement batches accepted by this node"),
+		notOwner:      reg.Counter("cluster_ingest_not_owner_total", "measurement batches refused with a not-owner verdict"),
+		measurements:  reg.Counter("cluster_ingest_measurements_total", "measurements accepted by this node"),
+	}
+	reg.GaugeFunc("repl_lag_frames", "frames acked locally but not yet confirmed by the replica", func() float64 {
+		var lag uint64
+		for _, sh := range n.shards {
+			last := sh.lastSeq.Load()
+			wm := sh.watermarkNow()
+			if wm <= last {
+				lag += last - wm + 1
+			}
+		}
+		return float64(lag)
+	})
+	reg.GaugeFunc("cluster_members_alive", "members in the alive state", func() float64 {
+		return float64(n.members.AliveCount())
+	})
+	reg.GaugeFunc("cluster_rebalances_total", "ring rebuilds since boot (membership epoch)", func() float64 {
+		return float64(n.members.Epoch())
+	})
+}
+
+// Members exposes the node's cluster view.
+func (n *Node) Members() *Membership { return n.members }
+
+// Start launches the replica followers. Idempotent.
+func (n *Node) Start() {
+	n.startMu.Lock()
+	defer n.startMu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	for _, f := range n.followers {
+		n.wg.Add(1)
+		go func(f *follower) {
+			defer n.wg.Done()
+			f.run()
+		}(f)
+	}
+}
+
+// Owns reports whether this node owns host under the current view, and
+// if not, who does.
+func (n *Node) Owns(host string) (owned bool, owner Member) {
+	m, ok := n.members.Owner(host)
+	if !ok {
+		return false, Member{}
+	}
+	return m.ID == n.self.ID, m
+}
+
+// IngestBatch commits a batch of measurements this node owns: group by
+// local shard, WAL-append + fsync + apply under each shard's lock, then
+// hold the ack until the replica confirms (or the degraded-mode timeout
+// lapses). Ownership is the caller's contract — the HTTP handler
+// enforces it for routed traffic.
+func (n *Node) IngestBatch(ms []core.Measurement) error {
+	if n.killed.Load() {
+		return ErrNodeKilled
+	}
+	if len(ms) == 0 {
+		return nil
+	}
+	groups := make([][]core.Measurement, n.cfg.Shards)
+	if n.cfg.Shards == 1 {
+		groups[0] = ms
+	} else {
+		for _, m := range ms {
+			si := localShard(m.Host, n.cfg.Shards)
+			groups[si] = append(groups[si], m)
+		}
+	}
+	for si, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		if err := n.applyShard(si, group); err != nil {
+			return err
+		}
+	}
+	n.met.batches.Inc()
+	n.met.measurements.Add(uint64(len(ms)))
+	return nil
+}
+
+// Ingest satisfies core.Sink for in-process callers (the reportd
+// collector in cluster mode). Errors surface through metrics; the
+// durable path either committed or did not touch the WAL.
+func (n *Node) Ingest(m core.Measurement) {
+	_ = n.IngestBatch([]core.Measurement{m})
+}
+
+func (n *Node) applyShard(si int, ms []core.Measurement) error {
+	sh := n.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n.killed.Load() {
+		return ErrNodeKilled
+	}
+	if err := sh.wal.AppendBatch(ms); err != nil {
+		return err
+	}
+	if err := sh.wal.Sync(); err != nil {
+		return err
+	}
+	last := sh.wal.NextSeq() - 1
+	sh.lastSeq.Store(last)
+	sh.db.IngestBatch(ms)
+	if n.cfg.AckTimeout > 0 && n.replicaWaitable() {
+		n.met.ackWaits.Inc()
+		if !sh.waitWatermark(last, n.cfg.AckTimeout, n.stop) {
+			// Degraded mode: the batch is durable here but the replica is
+			// lagging or gone. Acking anyway keeps the fleet moving; the
+			// counter is the alarm.
+			n.met.ackTimeouts.Inc()
+		}
+	}
+	return nil
+}
+
+// replicaWaitable reports whether a live peer is actually tailing this
+// node's WAL. The boot-time successor is the only candidate — replica
+// topology does not chase ring changes — so once that peer is dead the
+// wait is pointless and acks degrade immediately.
+func (n *Node) replicaWaitable() bool {
+	if n.replicaPeer == "" {
+		return false
+	}
+	m, ok := n.members.Get(n.replicaPeer)
+	return ok && m.State != Dead
+}
+
+// Drain puts the node in draining state: it stops owning ring arcs in
+// its own view, so routed batches get not-owner verdicts naming the new
+// owner, while replication tails and reads keep serving.
+func (n *Node) Drain() {
+	n.draining.Store(true)
+	n.members.MarkDraining(n.self.ID)
+	n.cfg.Logf("cluster %s: draining", n.self.ID)
+}
+
+// Kill emulates SIGKILL for the in-process crash tests: it waits out
+// in-flight batch commits (they hold shard locks), marks the node dead
+// to every subsequent request, stops the followers, and abandons the
+// WALs without flushing — buffered unsynced frames are lost exactly as
+// a real kill would lose them. The data plane contract survives: every
+// acked batch was fsynced (and, sync-ack permitting, replicated) before
+// its ack, and an unacked batch never touched the WAL.
+func (n *Node) Kill() {
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+	}
+	n.killed.Store(true)
+	n.stopOnce.Do(func() { close(n.stop) })
+	for _, sh := range n.shards {
+		sh.mu.Unlock()
+	}
+	n.wg.Wait()
+}
+
+// Close shuts the node down gracefully: stop followers (final sync
+// included), close every log. A killed node closes to a no-op.
+func (n *Node) Close() error {
+	if n.killed.Load() {
+		return nil
+	}
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	var first error
+	for _, f := range n.followers {
+		if err := f.logRef().Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		if err := sh.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// MergeLocal merges this node's own shard stores into one deterministic
+// aggregate (store.Merge's canonical order).
+func (n *Node) MergeLocal() *store.DB {
+	dbs := make([]*store.DB, len(n.shards))
+	for i, sh := range n.shards {
+		dbs[i] = sh.db
+	}
+	return store.Merge(n.cfg.Retain, dbs...)
+}
+
+// RecoverReplica rebuilds a dead peer's shards from the replica WALs
+// this node holds: newest snapshot plus replicated tail per shard,
+// merged deterministically. It refuses while the source is still alive
+// (its follower would be appending underneath the recovery) and waits
+// for the source's followers to wind down first.
+func (n *Node) RecoverReplica(sourceID string) (*store.DB, error) {
+	if m, ok := n.members.Get(sourceID); ok && m.State != Dead {
+		return nil, fmt.Errorf("cluster: %s is %s, not dead; refusing replica recovery", sourceID, m.State)
+	}
+	var mine []*follower
+	for _, f := range n.followers {
+		if f.source == sourceID {
+			mine = append(mine, f)
+		}
+	}
+	if len(mine) == 0 {
+		return nil, fmt.Errorf("cluster: %s holds no replica of %s", n.self.ID, sourceID)
+	}
+	for _, f := range mine {
+		select {
+		case <-f.done:
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("cluster: follower of %s shard %d did not stop", sourceID, f.shardIdx)
+		}
+	}
+	dbs := make([]*store.DB, 0, len(mine))
+	for _, f := range mine {
+		db, info, err := durable.Recover(n.shardOptions(f.dir))
+		if err != nil {
+			return nil, err
+		}
+		if info.DroppedTail {
+			n.cfg.Logf("cluster %s: replica of %s shard %d dropped tail: %s", n.self.ID, sourceID, f.shardIdx, info.Reason)
+		}
+		dbs = append(dbs, db)
+	}
+	return store.Merge(n.cfg.Retain, dbs...), nil
+}
+
+// ReplStatus describes one replica stream this node follows.
+type ReplStatus struct {
+	Source     string `json:"source"`
+	Shard      int    `json:"shard"`
+	AppliedSeq uint64 `json:"applied_seq"`
+}
+
+// Status is the /cluster/status document — the shard manifest fleetctl
+// routes against.
+type Status struct {
+	ID        string       `json:"id"`
+	State     string       `json:"state"`
+	Epoch     uint64       `json:"epoch"`
+	Shards    int          `json:"shards"`
+	VNodes    int          `json:"vnodes"`
+	Members   []Member     `json:"members"`
+	LastSeq   []uint64     `json:"last_seq"`
+	Watermark []uint64     `json:"watermark"`
+	Replicas  []ReplStatus `json:"replicas,omitempty"`
+}
+
+// Status assembles the node's current view.
+func (n *Node) Status() Status {
+	st := Status{
+		ID:     n.self.ID,
+		State:  n.stateString(),
+		Epoch:  n.members.Epoch(),
+		Shards: n.cfg.Shards,
+		VNodes: n.cfg.VNodes,
+	}
+	st.Members = n.members.Members()
+	for _, sh := range n.shards {
+		st.LastSeq = append(st.LastSeq, sh.lastSeq.Load())
+		st.Watermark = append(st.Watermark, sh.watermarkNow())
+	}
+	for _, f := range n.followers {
+		st.Replicas = append(st.Replicas, ReplStatus{Source: f.source, Shard: f.shardIdx, AppliedSeq: f.logRef().NextSeq() - 1})
+	}
+	return st
+}
+
+func (n *Node) stateString() string {
+	switch {
+	case n.killed.Load():
+		return "killed"
+	case n.draining.Load():
+		return Draining.String()
+	default:
+		return Alive.String()
+	}
+}
+
+// Handler returns the node's HTTP surface: /cluster/* control endpoints
+// and the /repl/tail replication stream. Every route answers 503 once
+// the node is killed.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/tail", n.handleTail)
+	mux.HandleFunc("/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.Status())
+	})
+	mux.HandleFunc("/cluster/ingest", n.handleIngest)
+	mux.HandleFunc("/cluster/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		n.Drain()
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/cluster/draining", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.URL.Query().Get("node")
+		if id == "" {
+			http.Error(w, "node parameter required", http.StatusBadRequest)
+			return
+		}
+		// The orchestrator's drain broadcast: every peer must agree the
+		// drainer no longer owns arcs, or routed batches ping-pong between
+		// the drainer's verdict and the peers' stale rings.
+		if n.members.MarkDraining(id) {
+			n.cfg.Logf("cluster %s: marked %s draining (epoch %d)", n.self.ID, id, n.members.Epoch())
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/cluster/dead", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.URL.Query().Get("node")
+		if id == "" {
+			http.Error(w, "node parameter required", http.StatusBadRequest)
+			return
+		}
+		if n.members.MarkDead(id) {
+			n.cfg.Logf("cluster %s: marked %s dead (epoch %d)", n.self.ID, id, n.members.Epoch())
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/cluster/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(n.MergeLocal().AppendSnapshot(nil))
+	})
+	mux.HandleFunc("/cluster/replica", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("node")
+		if id == "" {
+			http.Error(w, "node parameter required", http.StatusBadRequest)
+			return
+		}
+		db, err := n.RecoverReplica(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(db.AppendSnapshot(nil))
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.killed.Load() {
+			http.Error(w, ErrNodeKilled.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleTail serves one follower poll: record the follower's durable
+// position as the watermark, park briefly when caught up (long poll),
+// then stream frames from the WAL.
+func (n *Node) handleTail(w http.ResponseWriter, r *http.Request) {
+	si, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil || si < 0 || si >= len(n.shards) {
+		http.Error(w, "bad shard", http.StatusBadRequest)
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad from", http.StatusBadRequest)
+		return
+	}
+	if from == 0 {
+		from = 1
+	}
+	sh := n.shards[si]
+	n.met.tailPolls.Inc()
+	// The poll position is the follower's promise: everything below it is
+	// durable on the replica. Publishing it releases pending acks.
+	sh.setWatermark(from)
+	if from > sh.wal.NextSeq() {
+		http.Error(w, durable.ErrTailAhead.Error(), http.StatusConflict)
+		return
+	}
+	deadline := time.Now().Add(n.cfg.LongPoll)
+	for sh.lastSeq.Load() < from && time.Now().Before(deadline) && !n.killed.Load() {
+		select {
+		case <-n.stop:
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	sent, err := sh.wal.ServeTail(w, from, n.cfg.TailFrames)
+	if err != nil {
+		// Mid-stream failure: the connection carries a truncated stream,
+		// which the follower treats as a cut and re-polls.
+		n.cfg.Logf("cluster %s: tail shard %d from %d: %v", n.self.ID, si, from, err)
+		return
+	}
+	n.met.framesServed.Add(uint64(sent))
+}
+
+// handleIngest accepts one routed measurement batch. The whole batch
+// must decode and the whole batch must be owned — any foreign host
+// refuses everything with a not-owner verdict before a single frame is
+// written, so a router's retry against the new owner can never double
+// count.
+func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeRes := func(status int, res ingest.BatchResult) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(res)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxMeasBatchBytes))
+	if err != nil {
+		writeRes(http.StatusRequestEntityTooLarge, ingest.BatchResult{Error: err.Error()})
+		return
+	}
+	ms, err := DecodeMeasurements(body)
+	if err != nil {
+		writeRes(http.StatusBadRequest, ingest.BatchResult{Error: err.Error()})
+		return
+	}
+	for _, m := range ms {
+		owned, owner := n.Owns(m.Host)
+		if owned {
+			continue
+		}
+		n.met.notOwner.Inc()
+		writeRes(http.StatusOK, ingest.BatchResult{NotOwner: true, Owner: owner.ID, OwnerURL: owner.URL})
+		return
+	}
+	if err := n.IngestBatch(ms); err != nil {
+		writeRes(http.StatusServiceUnavailable, ingest.BatchResult{Error: err.Error()})
+		return
+	}
+	writeRes(http.StatusOK, ingest.BatchResult{Accepted: len(ms)})
+}

@@ -1,0 +1,148 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"tlsfof/internal/core"
+)
+
+// ErrTailAhead reports a follower asking for a sequence the source has
+// never written — the replica belongs to a different incarnation of the
+// log (an operator wiped or replaced the source directory). Replication
+// must not silently continue: the follower's watermark would race ahead
+// of data that was never copied.
+var ErrTailAhead = errors.New("durable: follower is ahead of source log")
+
+// NextSeq returns the sequence the next appended frame will get.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// AppendEncoded appends a pre-encoded measurement payload — the exact
+// bytes a replication frame carried — without a decode/re-encode round
+// trip, preserving frame-for-frame identity between a replica log and
+// its source. The payload is validated first so a replica directory is
+// always recoverable.
+func (l *Log) AppendEncoded(payload []byte) error {
+	if len(payload) == 0 || len(payload) > MaxFramePayload {
+		return fmt.Errorf("durable: encoded payload %d bytes out of bounds", len(payload))
+	}
+	if _, rest, err := core.DecodeMeasurement(payload); err != nil {
+		return fmt.Errorf("durable: encoded payload: %w", err)
+	} else if len(rest) != 0 {
+		return fmt.Errorf("durable: encoded payload has %d trailing bytes", len(rest))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("durable: append on closed log")
+	}
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return l.appendedLocked(int64(frameHdrLen + len(payload)))
+}
+
+// errStopWalk ends a ServeTail segment walk once maxFrames frames have
+// been written; it never escapes.
+var errStopWalk = errors.New("stop walk")
+
+// ServeTail answers one follower poll by writing a replication stream to
+// w: the stream header, then — when compaction already folded the
+// follower's resume point into a snapshot — one snapshot record, then
+// every durable frame from the resume point on, then the clean end
+// marker. from is the next sequence the follower wants (its replica's
+// NextSeq); 0 means from the beginning. maxFrames caps frames per
+// response (<= 0 unlimited); the follower simply polls again.
+//
+// ServeTail syncs the log first, so every frame served is durable on the
+// source, and reads frames back from the segment files rather than any
+// in-memory state — the same bytes recovery would see. A torn tail or
+// read error mid-walk ends the response early but still cleanly: the
+// remaining frames are simply served on a later poll.
+func (l *Log) ServeTail(w io.Writer, from uint64, maxFrames int) (sent int, err error) {
+	if from == 0 {
+		from = 1
+	}
+	if err := l.Sync(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	snapSeq, next := l.snapSeq, l.nextSeq
+	l.mu.Unlock()
+	if from > next {
+		return 0, fmt.Errorf("%w: follower at seq %d, source at %d", ErrTailAhead, from, next)
+	}
+	buf := AppendReplHeader(nil)
+	resume := from
+	if snapSeq >= from {
+		covered, _, image, err := latestSnapshot(l.opt.Dir)
+		if err != nil {
+			return 0, err
+		}
+		if image == nil || covered < from {
+			return 0, fmt.Errorf("durable: snapshot covering seq %d vanished", from)
+		}
+		buf = AppendReplSnapshot(buf, covered, image)
+		resume = covered + 1
+	}
+	if _, err := w.Write(buf); err != nil {
+		return 0, err
+	}
+	segs, err := listSegments(l.opt.Dir)
+	if err != nil {
+		return 0, err
+	}
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].first <= resume {
+			continue // fully below the resume point
+		}
+		buf = buf[:0]
+		_, _, damage, walkErr := walkFrames(seg.path, seg.first, func(seq uint64, payload []byte) error {
+			if seq < resume {
+				return nil
+			}
+			if maxFrames > 0 && sent >= maxFrames {
+				return errStopWalk
+			}
+			buf = AppendReplFrame(buf[:0], seq, payload)
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			sent++
+			return nil
+		})
+		if walkErr != nil && !errors.Is(walkErr, errStopWalk) {
+			return sent, walkErr
+		}
+		// A torn tail (an append racing our read) or a frame cap both end
+		// the response early; the follower picks the rest up next poll.
+		if damage != nil || (walkErr != nil && errors.Is(walkErr, errStopWalk)) {
+			break
+		}
+	}
+	if _, err := w.Write([]byte{ReplEnd}); err != nil {
+		return sent, err
+	}
+	return sent, nil
+}
+
+// WriteSnapshot atomically writes a snapshot file covering seqs
+// [1,covered] into dir — the follower side of snapshot catch-up: wipe
+// the stale replica directory, write the received image, reopen.
+func WriteSnapshot(dir string, covered uint64, image []byte) error {
+	_, err := writeSnapshotFile(dir, covered, image)
+	return err
+}

@@ -298,12 +298,19 @@ func (l *Log) appendLocked(m core.Measurement) error {
 	if _, err := l.w.Write(l.scratch); err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
+	return l.appendedLocked(int64(len(l.scratch)))
+}
+
+// appendedLocked does the post-write bookkeeping shared by appendLocked
+// and AppendEncoded: frameBytes is the full on-disk frame size (header
+// plus payload) just written to the buffered writer.
+func (l *Log) appendedLocked(frameBytes int64) error {
 	l.active.last = l.nextSeq
-	l.active.bytes += int64(len(l.scratch))
+	l.active.bytes += frameBytes
 	l.nextSeq++
 	l.dirty = true
 	l.stats.AppendedFrames++
-	l.stats.AppendedBytes += uint64(len(l.scratch))
+	l.stats.AppendedBytes += uint64(frameBytes)
 	if l.active.bytes >= l.opt.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return err

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strings"
 	"sync"
 	"time"
 )
@@ -32,6 +34,10 @@ type ClientStats struct {
 	// Accepted and Rejected sum the server's per-batch BatchResult.
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
+	// NotOwnerRetries counts batches re-sent to a different node after a
+	// not-owner verdict (cluster mode: the target was draining or the
+	// ring moved underneath the upload).
+	NotOwnerRetries uint64 `json:"not_owner_retries"`
 }
 
 // Client batches reports and streams them to a reportd /ingest/batch
@@ -59,6 +65,12 @@ type Client struct {
 	// RetryDelay is the pause before the first retry, doubling per
 	// attempt (50ms when 0).
 	RetryDelay time.Duration
+	// ResolveOwner maps a not-owner verdict to the URL the batch should
+	// be re-sent to, or "" when no retarget is possible (the verdict then
+	// becomes a final error). When nil, the default resolution joins the
+	// verdict's OwnerURL with the path of c.URL — node base URLs on one
+	// side, a shared endpoint path on the other.
+	ResolveOwner func(res BatchResult) string
 
 	mu    sync.Mutex
 	buf   []Report
@@ -134,11 +146,9 @@ func (c *Client) Flush() error {
 	return c.post(batch)
 }
 
-// post encodes and uploads one batch, retrying transport-level failures
-// up to c.Retries times, and folds the server's BatchResult into the
-// stats. The batch slice is recycled immediately after encoding; the
-// encode buffer is recycled unless a transport error may still be
-// referencing it.
+// post encodes and uploads one batch. The batch slice is recycled
+// immediately after encoding; the encode buffer is recycled unless a
+// transport error may still be referencing it.
 func (c *Client) post(batch []Report) error {
 	var scratch []byte
 	if bp, ok := c.encodePool.Get().(*[]byte); ok {
@@ -150,18 +160,74 @@ func (c *Client) post(batch []Report) error {
 		c.encodePool.Put(&scratch)
 		return fmt.Errorf("ingest: encode batch: %w", err)
 	}
+	err, anyTransport := c.deliver(body)
+	if anyTransport {
+		// A transport-failed attempt's HTTP machinery may still briefly
+		// reference body even after a later attempt succeeds, so the
+		// encode buffer is dropped, not recycled — the next post
+		// re-grows one.
+		return err
+	}
+	body = body[:0]
+	c.encodePool.Put(&body)
+	return err
+}
+
+// PostReports uploads one caller-owned batch immediately, bypassing the
+// client's buffering and buffer pools: the slice is read, never kept or
+// recycled, so callers that manage their own batches (fleet
+// orchestrators re-driving a rerouted upload) can reuse it freely.
+func (c *Client) PostReports(batch []Report) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	body, err := AppendReports(nil, batch)
+	if err != nil {
+		return fmt.Errorf("ingest: encode batch: %w", err)
+	}
+	err, _ = c.deliver(body)
+	return err
+}
+
+// maxOwnerHops bounds how many not-owner retargets one batch follows
+// before the upload is declared failed — two confused nodes pointing at
+// each other must not trap the client.
+const maxOwnerHops = 4
+
+// deliver runs the retry loop for one encoded batch: transport-level
+// failures are retried up to c.Retries times against the same target,
+// and a decoded not-owner verdict retargets the upload at the named
+// owner (its own bounded budget — ownership moves are progress, not
+// failures). anyTransport reports whether any attempt ended in a
+// transport error, i.e. whether body may still be referenced.
+func (c *Client) deliver(body []byte) (err error, anyTransport bool) {
 	delay := c.RetryDelay
 	if delay <= 0 {
 		delay = 50 * time.Millisecond
 	}
-	// anyTransport is sticky across attempts: if ANY attempt ended in a
-	// transport error, that attempt's HTTP machinery may still briefly
-	// reference body even after a later attempt succeeds, so the encode
-	// buffer must be dropped, not recycled — the next post re-grows one.
-	var retryable, transport, anyTransport bool
+	target := c.URL
+	var retryable, transport bool
+	var next string
+	hops := 0
 	for attempt := 0; ; attempt++ {
-		err, retryable, transport = c.postOnce(body)
+		err, retryable, transport, next = c.postOnce(target, body)
 		anyTransport = anyTransport || transport
+		if next != "" && next != target {
+			if hops >= maxOwnerHops {
+				err = fmt.Errorf("ingest: batch still unowned after %d retargets: %w", hops, err)
+				break
+			}
+			hops++
+			target = next
+			c.mu.Lock()
+			c.stats.NotOwnerRetries++
+			c.mu.Unlock()
+			// Retargeting is progress toward the true owner, not a
+			// failure of this target — it spends the hop budget, not the
+			// retry budget, and needs no backoff.
+			attempt--
+			continue
+		}
 		if err == nil || !retryable || attempt >= c.Retries {
 			break
 		}
@@ -176,31 +242,28 @@ func (c *Client) post(batch []Report) error {
 		c.stats.PostErrors++
 		c.mu.Unlock()
 	}
-	if anyTransport {
-		return err
-	}
-	body = body[:0]
-	c.encodePool.Put(&body)
-	return err
+	return err, anyTransport
 }
 
-// postOnce performs one upload round trip. retryable reports whether a
-// failure is worth re-sending: a connection error, a response damaged in
-// flight (undecodable on a 200 or 5xx), or a 5xx — never a decoded
-// server verdict and never a deterministic endpoint mismatch (a 404's
-// HTML page fails identically every time). transport is true only when
-// the HTTP client returned an error, i.e. only then may it still
-// reference body. Server Accepted/Rejected counts fold into the stats
-// only on outcomes that end the attempt loop, so a retried batch is
-// never double-counted.
-func (c *Client) postOnce(body []byte) (err error, retryable, transport bool) {
+// postOnce performs one upload round trip against target. retryable
+// reports whether a failure is worth re-sending: a connection error, a
+// response damaged in flight (undecodable on a 200 or 5xx), or a 5xx —
+// never a deterministic endpoint mismatch (a 404's HTML page fails
+// identically every time). A decoded not-owner verdict is the one
+// decoded verdict that is NOT final: the batch was provably not applied,
+// so it returns the owner's URL in next for the caller to retarget.
+// transport is true only when the HTTP client returned an error, i.e.
+// only then may it still reference body. Server Accepted/Rejected counts
+// fold into the stats only on outcomes that end the attempt loop, so a
+// retried batch is never double-counted.
+func (c *Client) postOnce(target string, body []byte) (err error, retryable, transport bool, next string) {
 	httpc := c.HTTPClient
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
-	resp, err := httpc.Post(c.URL, "application/octet-stream", bytes.NewReader(body))
+	resp, err := httpc.Post(target, "application/octet-stream", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("ingest: post batch: %w", err), true, true
+		return fmt.Errorf("ingest: post batch: %w", err), true, true, ""
 	}
 	defer resp.Body.Close()
 	// The endpoint answers a BatchResult on 200/400/413; anything that
@@ -213,12 +276,23 @@ func (c *Client) postOnce(body []byte) (err error, retryable, transport bool) {
 	c.mu.Unlock()
 	if decodeErr != nil {
 		retryable = resp.StatusCode == http.StatusOK || resp.StatusCode >= http.StatusInternalServerError
-		return fmt.Errorf("ingest: batch response (HTTP %d): %w", resp.StatusCode, decodeErr), retryable, false
+		return fmt.Errorf("ingest: batch response (HTTP %d): %w", resp.StatusCode, decodeErr), retryable, false, ""
 	}
 	if resp.StatusCode >= http.StatusInternalServerError {
 		// The attempt will be re-sent; folding this response's counts
 		// would tally the same batch once per retry.
-		return fmt.Errorf("ingest: batch post: HTTP %d", resp.StatusCode), true, false
+		return fmt.Errorf("ingest: batch post: HTTP %d", resp.StatusCode), true, false, ""
+	}
+	if res.NotOwner {
+		// The node refused the whole batch because ownership moved (a
+		// draining node, a rebalanced ring). Nothing was applied, so a
+		// re-send cannot double-count; hand the owner's endpoint back
+		// for the deliver loop to retarget.
+		next = c.resolveOwner(res)
+		if next == "" {
+			return fmt.Errorf("ingest: node is not owner of batch (owner %q) and no retarget is available", res.Owner), false, false, ""
+		}
+		return fmt.Errorf("ingest: node is not owner of batch, owner is %s", next), false, false, next
 	}
 	c.mu.Lock()
 	c.stats.Accepted += uint64(res.Accepted)
@@ -229,11 +303,28 @@ func (c *Client) postOnce(body []byte) (err error, retryable, transport bool) {
 		// Stream-level damage the server itself reported: it stopped
 		// decoding mid-batch. A decoded verdict is final, not retried —
 		// re-sending would double-ingest the accepted prefix for sure.
-		return fmt.Errorf("ingest: server rejected stream after %d reports: %s", res.Accepted, res.Error), false, false
+		return fmt.Errorf("ingest: server rejected stream after %d reports: %s", res.Accepted, res.Error), false, false, ""
 	case resp.StatusCode != http.StatusOK:
-		return fmt.Errorf("ingest: batch post: HTTP %d", resp.StatusCode), false, false
+		return fmt.Errorf("ingest: batch post: HTTP %d", resp.StatusCode), false, false, ""
 	}
-	return nil, false, false
+	return nil, false, false, ""
+}
+
+// resolveOwner turns a not-owner verdict into the retarget URL: the
+// ResolveOwner hook when set, else the verdict's OwnerURL joined with
+// the path of c.URL (node base URL + shared endpoint path).
+func (c *Client) resolveOwner(res BatchResult) string {
+	if c.ResolveOwner != nil {
+		return c.ResolveOwner(res)
+	}
+	if res.OwnerURL == "" {
+		return ""
+	}
+	u, err := url.Parse(c.URL)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSuffix(res.OwnerURL, "/") + u.Path
 }
 
 // Stats snapshots the uploader accounting.

@@ -23,6 +23,13 @@ type BatchResult struct {
 	Accepted int    `json:"accepted"`
 	Rejected int    `json:"rejected"`
 	Error    string `json:"error,omitempty"`
+	// NotOwner reports that the receiving node does not own the batch's
+	// hosts (cluster mode: the ring moved, or the node is draining). The
+	// batch was NOT applied; the client should retry against Owner. This
+	// is a routing verdict, not a terminal one — see Client.PostReports.
+	NotOwner bool   `json:"not_owner,omitempty"`
+	Owner    string `json:"owner,omitempty"`
+	OwnerURL string `json:"owner_url,omitempty"`
 }
 
 // BatchHandler serves the binary batch-upload endpoint: POST a wire stream

@@ -236,12 +236,24 @@ func openPipeline(cfg Config) (*Pipeline, []durable.Info, error) {
 	return p, infos, nil
 }
 
-// shardManifest pins the WAL directory to one shard layout.
+// shardManifest pins the WAL directory to one shard layout and, in
+// cluster mode, to one node identity.
 type shardManifest struct {
-	Shards int `json:"shards"`
+	Shards int    `json:"shards"`
+	Node   string `json:"node,omitempty"`
 }
 
 func checkShardManifest(dir string, shards int) error {
+	return PinShardManifest(dir, shards, "")
+}
+
+// PinShardManifest pins dir to a shard count and (when node is
+// non-empty) a cluster node identity, writing the manifest on first use
+// and refusing any later open that disagrees: a changed shard count
+// would silently move the hash partition, and a shard directory grafted
+// onto a different node would double-count its frames after a replica
+// recovery.
+func PinShardManifest(dir string, shards int, node string) error {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return fmt.Errorf("ingest: %w", err)
 	}
@@ -255,12 +267,15 @@ func checkShardManifest(dir string, shards int) error {
 		if m.Shards != shards {
 			return fmt.Errorf("ingest: %s was written with %d shards, refusing to open with %d (the hash partition would move)", dir, m.Shards, shards)
 		}
+		if m.Node != node {
+			return fmt.Errorf("ingest: %s was written by node %q, refusing to open as node %q", dir, m.Node, node)
+		}
 		return nil
 	}
 	if !os.IsNotExist(err) {
 		return fmt.Errorf("ingest: %w", err)
 	}
-	b, _ = json.Marshal(shardManifest{Shards: shards})
+	b, _ = json.Marshal(shardManifest{Shards: shards, Node: node})
 	if err := os.WriteFile(path, append(b, '\n'), 0o666); err != nil {
 		return fmt.Errorf("ingest: %w", err)
 	}

@@ -1,0 +1,192 @@
+package ingest
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tlsfof/internal/classify"
+	"tlsfof/internal/core"
+)
+
+// Satellite regression: a not-owner verdict is a decoded verdict, but it
+// must NOT be final — the batch provably was not applied, so the client
+// retargets it at the named owner instead of dropping it. Before the
+// fix, the draining-node verdict looked like a clean 200 with zero
+// accepts and the batch silently vanished.
+
+// notOwnerHandler refuses every batch, naming owner.
+func notOwnerHandler(ownerID, ownerURL string, posts *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if posts != nil {
+			posts.Add(1)
+		}
+		json.NewEncoder(w).Encode(BatchResult{NotOwner: true, Owner: ownerID, OwnerURL: ownerURL})
+	}
+}
+
+func TestClientRetargetsNotOwner(t *testing.T) {
+	var ownerPosts atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ownerPosts.Add(1)
+		if r.URL.Path != "/ingest/batch" {
+			t.Errorf("retargeted post hit %q, want the original endpoint path", r.URL.Path)
+		}
+		json.NewEncoder(w).Encode(BatchResult{Accepted: 1})
+	}))
+	defer owner.Close()
+	var drainPosts atomic.Int64
+	draining := httptest.NewServer(notOwnerHandler("b", owner.URL, &drainPosts))
+	defer draining.Close()
+
+	c := NewClient(draining.URL + "/ingest/batch")
+	c.RetryDelay = time.Millisecond
+	c.Report(retryReport)
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush through a draining node: %v", err)
+	}
+	st := c.Stats()
+	if drainPosts.Load() != 1 || ownerPosts.Load() != 1 {
+		t.Fatalf("posts: draining %d, owner %d; want 1 and 1", drainPosts.Load(), ownerPosts.Load())
+	}
+	if st.NotOwnerRetries != 1 || st.Accepted != 1 || st.PostErrors != 0 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want 1 not-owner retry, 1 accepted, no errors", st)
+	}
+}
+
+func TestClientNotOwnerWithoutTargetIsFinal(t *testing.T) {
+	var posts atomic.Int64
+	srv := httptest.NewServer(notOwnerHandler("b", "", &posts))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.Retries = 3
+	c.RetryDelay = time.Millisecond
+	c.Report(retryReport)
+	err := c.Flush()
+	if err == nil || !strings.Contains(err.Error(), "not owner") {
+		t.Fatalf("flush error = %v, want a final not-owner error", err)
+	}
+	st := c.Stats()
+	if posts.Load() != 1 || st.Retries != 0 || st.PostErrors != 1 {
+		t.Fatalf("unresolvable verdict was retried: %d posts, stats %+v", posts.Load(), st)
+	}
+}
+
+func TestClientNotOwnerPingPongBounded(t *testing.T) {
+	// Two confused nodes pointing at each other must not trap the
+	// client: the hop budget ends the upload with an error.
+	var aPosts, bPosts atomic.Int64
+	var aURL, bURL string
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aPosts.Add(1)
+		json.NewEncoder(w).Encode(BatchResult{NotOwner: true, Owner: "b", OwnerURL: bURL})
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bPosts.Add(1)
+		json.NewEncoder(w).Encode(BatchResult{NotOwner: true, Owner: "a", OwnerURL: aURL})
+	}))
+	defer b.Close()
+	aURL, bURL = a.URL, b.URL
+
+	c := NewClient(a.URL + "/ingest/batch")
+	c.RetryDelay = time.Millisecond
+	c.Report(retryReport)
+	err := c.Flush()
+	if err == nil || !strings.Contains(err.Error(), "unowned") {
+		t.Fatalf("flush error = %v, want hop-budget exhaustion", err)
+	}
+	total := aPosts.Load() + bPosts.Load()
+	if total != int64(maxOwnerHops)+1 {
+		t.Fatalf("%d posts across the ping-pong pair, want hop budget %d + 1", total, maxOwnerHops)
+	}
+	if st := c.Stats(); st.NotOwnerRetries != uint64(maxOwnerHops) || st.PostErrors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientResolveOwnerHook(t *testing.T) {
+	var ownerPosts atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ownerPosts.Add(1)
+		json.NewEncoder(w).Encode(BatchResult{Accepted: 1})
+	}))
+	defer owner.Close()
+	// The verdict names only an opaque node ID; the hook supplies the
+	// URL (the fleetctl pattern: IDs resolve through its member table).
+	draining := httptest.NewServer(notOwnerHandler("node-7", "", nil))
+	defer draining.Close()
+
+	c := NewClient(draining.URL)
+	c.RetryDelay = time.Millisecond
+	c.ResolveOwner = func(res BatchResult) string {
+		if res.Owner == "node-7" {
+			return owner.URL
+		}
+		return ""
+	}
+	c.Report(retryReport)
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush with ResolveOwner hook: %v", err)
+	}
+	if ownerPosts.Load() != 1 {
+		t.Fatalf("owner saw %d posts, want 1", ownerPosts.Load())
+	}
+}
+
+// TestRoutedBatchHandlerAllOrNothing: the cluster-mode handler refuses a
+// batch containing any foreign host without ingesting ANY of it — the
+// property that makes retargeted re-sends duplicate-free.
+func TestRoutedBatchHandlerAllOrNothing(t *testing.T) {
+	var ingested atomic.Int64
+	sink := core.SinkFunc(func(m core.Measurement) { ingested.Add(1) })
+	col := core.NewCollector(classify.NewClassifier(), nil, sink)
+	col.Campaign = "route-test"
+	chain := testChain(t, "owned.test")
+	col.SetAuthoritative("owned.test", chain)
+	route := Router{
+		Owns:  func(host string) bool { return host != "foreign.test" },
+		Owner: func(host string) (string, string) { return "b", "http://other.test" },
+	}
+	srv := httptest.NewServer(RoutedBatchHandler(col, route))
+	defer srv.Close()
+
+	post := func(reports []Report) BatchResult {
+		t.Helper()
+		body, err := AppendReports(nil, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL, "application/octet-stream", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var res BatchResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	mixed := []Report{
+		{Host: "owned.test", ChainDER: chain},
+		{Host: "foreign.test", ChainDER: chain},
+	}
+	res := post(mixed)
+	if !res.NotOwner || res.Owner != "b" || res.OwnerURL != "http://other.test" {
+		t.Fatalf("mixed batch verdict = %+v, want not-owner naming b", res)
+	}
+	if res.Accepted != 0 || ingested.Load() != 0 {
+		t.Fatalf("refused batch ingested %d/%d reports; all-or-nothing violated", res.Accepted, ingested.Load())
+	}
+
+	res = post(mixed[:1])
+	if res.NotOwner || res.Accepted != 1 || ingested.Load() != 1 {
+		t.Fatalf("owned batch verdict = %+v (sink saw %d), want 1 accepted", res, ingested.Load())
+	}
+}

@@ -1,0 +1,100 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tlsfof/internal/core"
+	"tlsfof/internal/telemetry"
+)
+
+// Router decides report-level ownership for a cluster-mode collector.
+// The fields are plain functions so this package stays ignorant of the
+// cluster package (cluster imports ingest, never the reverse): a
+// reportd node wires them to its ring, tests wire them to literals.
+type Router struct {
+	// Owns reports whether this node owns the given host's shard.
+	Owns func(host string) bool
+	// Owner names the owning node and its base URL for a host this node
+	// does not own. It may return "" when the ring has no answer.
+	Owner func(host string) (id, url string)
+}
+
+// RoutedBatchHandler is BatchHandler for a cluster node: it decodes the
+// ENTIRE stream before ingesting anything, and if any report's host
+// belongs to another node it refuses the whole batch with a not-owner
+// verdict naming that owner. All-or-nothing is the property that makes
+// client retargeting duplicate-free — a refused batch provably touched
+// no state, so the re-send to the true owner cannot double-count. (The
+// plain BatchHandler streams instead, ingesting as it decodes; routing
+// makes that trade unsafe.)
+func RoutedBatchHandler(col *core.Collector, route Router) http.Handler {
+	if route.Owns == nil {
+		panic("ingest: RoutedBatchHandler requires route.Owns")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		ip := core.ClientIPFromRequest(r)
+		body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
+		dec := NewDecoder(body)
+		var res BatchResult
+		var reports []Report
+		status := http.StatusOK
+		for {
+			rep, err := dec.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				// Unlike BatchHandler, nothing was ingested yet: a
+				// damaged stream refuses the whole batch, and the
+				// client may safely re-send it.
+				res.Error = err.Error()
+				status = http.StatusBadRequest
+				var tooLarge *http.MaxBytesError
+				if errors.As(err, &tooLarge) {
+					res.Error = fmt.Sprintf("body exceeds %d bytes", maxBatchBytes)
+					status = http.StatusRequestEntityTooLarge
+				}
+				reports = nil
+				break
+			}
+			reports = append(reports, rep)
+		}
+		if status == http.StatusOK {
+			for _, rep := range reports {
+				if route.Owns(rep.Host) {
+					continue
+				}
+				res = BatchResult{NotOwner: true}
+				if route.Owner != nil {
+					res.Owner, res.OwnerURL = route.Owner(rep.Host)
+				}
+				reports = nil
+				break
+			}
+		}
+		tracer := col.Tracer
+		for _, rep := range reports {
+			start := stageStart(tracer)
+			if tracer != nil {
+				tracer.Record(telemetry.TraceID(rep.Trace), telemetry.StageDecode, start, time.Since(start))
+			}
+			if _, err := col.IngestTraced(ip, rep.Host, rep.ChainDER, col.Campaign, rep.Trace); err != nil {
+				res.Rejected++
+				continue
+			}
+			res.Accepted++
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(res)
+	})
+}

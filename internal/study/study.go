@@ -72,6 +72,15 @@ type Config struct {
 	// campaigns finished. cmd/study's -progress reporter polls these;
 	// any registry scrape works. Nil keeps the hot path counter-free.
 	Metrics *telemetry.Registry
+	// Sink, when non-nil, receives every generated measurement instead
+	// of the run's internal store — the cluster path: a route client
+	// delivers the stream to the owning reportd nodes and tables are
+	// merged cross-node afterwards, so Result.Store comes back nil.
+	// Only the plain sequential path supports it (Shards <= 1, no
+	// DataDir): in cluster mode the external sink owns durability and
+	// parallelism, and layering this run's WAL or shard merge under it
+	// would double-count.
+	Sink core.Sink
 }
 
 // Result is a completed study run.
@@ -127,6 +136,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Study == 0 {
 		cfg.Study = clientpop.Study1
+	}
+	if cfg.Sink != nil && (cfg.Shards > 1 || cfg.DataDir != "") {
+		return nil, fmt.Errorf("study: Config.Sink requires the plain sequential path (Shards <= 1, no DataDir)")
 	}
 	pool := cfg.Pool
 	if pool == nil {
@@ -286,9 +298,15 @@ func Run(cfg Config) (*Result, error) {
 		st := pl.Stats()
 		ingestStats = &st
 	} else {
-		db = store.New(cfg.RetainProxied)
+		var seqSink core.Sink
+		if cfg.Sink != nil {
+			seqSink = cfg.Sink
+		} else {
+			db = store.New(cfg.RetainProxied)
+			seqSink = db
+		}
 		for ci := range campaigns {
-			err := gen.run(campaigns[ci], outcomes[ci], crs[ci], wrap(db), skips[campaigns[ci].Name], stop)
+			err := gen.run(campaigns[ci], outcomes[ci], crs[ci], wrap(seqSink), skips[campaigns[ci].Name], stop)
 			if err != nil {
 				if errors.Is(err, errStopped) {
 					break
