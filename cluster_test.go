@@ -39,6 +39,14 @@ type clusterHarness struct {
 }
 
 func startClusterHarness(t *testing.T, ids []string) *clusterHarness {
+	return startClusterHarnessCfg(t, ids, nil)
+}
+
+// startClusterHarnessCfg starts the cluster with a per-node Config
+// hook: configure (optional) runs before each cluster.Open with the
+// full member list resolved, so tests can mount chaos-controlled HTTP
+// clients or tighten replication deadlines on individual nodes.
+func startClusterHarnessCfg(t *testing.T, ids []string, configure func(id string, members []cluster.Member, cfg *cluster.Config)) *clusterHarness {
 	t.Helper()
 	h := &clusterHarness{
 		t:          t,
@@ -59,7 +67,7 @@ func startClusterHarness(t *testing.T, ids []string) *clusterHarness {
 	for _, id := range ids {
 		reg := telemetry.NewRegistry()
 		dir := filepath.Join(t.TempDir(), id)
-		n, err := cluster.Open(cluster.Config{
+		cfg := cluster.Config{
 			ID:           id,
 			Members:      h.members,
 			DataDir:      dir,
@@ -70,7 +78,11 @@ func startClusterHarness(t *testing.T, ids []string) *clusterHarness {
 			LongPoll:     20 * time.Millisecond,
 			Registry:     reg,
 			Logf:         t.Logf,
-		})
+		}
+		if configure != nil {
+			configure(id, h.members, &cfg)
+		}
+		n, err := cluster.Open(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,8 +255,16 @@ func TestClusterKillOneNode(t *testing.T) {
 	if int(st.Delivered) != total {
 		t.Fatalf("delivered %d of %d measurements", st.Delivered, total)
 	}
-	if st.DeadMarked != 1 {
-		t.Fatalf("route stats %+v, want exactly one dead-marking (node b)", st)
+	// The client must have healed around the killed node one way or the
+	// other: either a survivor relayed the stranded batch and its owner
+	// verdict folded b's shards away (the self-healing path — possible
+	// here because the death broadcast reaches the survivors first), or
+	// every relay failed too and the client declared b dead itself.
+	if st.DeadMarked == 0 && st.Relayed == 0 {
+		t.Fatalf("route stats %+v, client never routed around the killed node", st)
+	}
+	if st.DeadMarked > 1 {
+		t.Fatalf("route stats %+v, want at most one dead-marking (node b)", st)
 	}
 	for _, id := range []string{"a", "c"} {
 		if v := ackTimeouts(t, h.registries[id]); v != 0 {

@@ -11,19 +11,26 @@
 // -fleet concurrent workers), spreads their report uploads across the
 // cluster round-robin — the nodes' not-owner verdicts and the upload
 // client's retargeting route every batch to its owning node — and
-// monitors node health the whole run: a node that stops answering is
-// declared dead to every surviving peer, which re-routes ingest and
-// seals the dead node's replica streams.
+// monitors node health the whole run with a suspicion scorer: every
+// status probe folds its outcome, its round-trip time against the
+// latency budget, and the node's self-reported degradation counters
+// (replication ack timeouts, WAL errors, scraped from /metrics) into a
+// per-node score. A node is declared dead only on sustained hard
+// failure; a slow or flapping node surfaces as suspect without
+// shrinking the cluster. Death and drain marks that a peer missed are
+// queued and re-broadcast until the peer acks them or dies itself.
 //
 // On completion fleetctl drives the deterministic cross-node merge:
-// every live node's own shards via /cluster/snapshot, every dead node's
-// shards via /cluster/replica from the surviving peer holding its
-// replicated WAL, folded through store.Merge (canonical order — the
-// same merge the golden-table conformance suite pins) and rendered as
-// the paper tables.
+// every live node's own shards via /cluster/snapshot (backoff-retried),
+// every dead node's shards via /cluster/replica hedged across the
+// survivors holding its replicated WAL, folded through store.Merge
+// (canonical order — the same merge the golden-table conformance suite
+// pins) and rendered as the paper tables.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,7 +44,9 @@ import (
 
 	"tlsfof/internal/analysis"
 	"tlsfof/internal/cluster"
+	"tlsfof/internal/faultnet"
 	"tlsfof/internal/geo"
+	"tlsfof/internal/resilient"
 	"tlsfof/internal/store"
 )
 
@@ -50,14 +59,32 @@ func logf(format string, args ...any) {
 	fmt.Printf("fleetctl: "+format+"\n", args...)
 }
 
-// fleet is the orchestrator state: the cluster view it maintains and
-// the probe subprocesses it supervises.
+// maxPendingMarks bounds the re-broadcast queue; beyond it the oldest
+// mark is dropped (and logged) rather than growing without bound.
+const maxPendingMarks = 256
+
+// mark is one undelivered membership fact: peer has not yet acked that
+// subject is dead/draining.
+type mark struct {
+	kind    string // "dead" or "draining"
+	subject string
+	peer    string
+}
+
+// fleet is the orchestrator state: the cluster view it maintains, the
+// suspicion scorer judging it, and the probe subprocesses it
+// supervises.
 type fleet struct {
 	members *cluster.Membership
 	httpc   *http.Client
+	scorer  *cluster.Scorer
 
-	mu    sync.Mutex
-	procs []*exec.Cmd
+	mu      sync.Mutex
+	procs   []*exec.Cmd
+	pending []mark
+	// prevMetrics holds each node's last-scraped degradation counters so
+	// health samples carry deltas, not lifetime totals.
+	prevMetrics map[string]map[string]float64
 }
 
 // aliveMembers snapshots the members still routable.
@@ -85,15 +112,86 @@ func (f *fleet) post(url string) error {
 	return nil
 }
 
-// broadcastDead tells every surviving peer that id is gone. Best-effort:
-// a peer that cannot be reached is itself about to be declared dead.
-func (f *fleet) broadcastDead(id string) {
-	f.members.MarkDead(id)
+// markURL renders the control endpoint for one membership mark.
+func (f *fleet) markURL(m mark) (string, bool) {
+	peer, ok := f.members.Get(m.peer)
+	if !ok {
+		return "", false
+	}
+	return peer.URL + "/cluster/" + m.kind + "?node=" + m.subject, true
+}
+
+// enqueueMark queues an undelivered mark for re-broadcast.
+func (f *fleet) enqueueMark(m mark) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.pending) >= maxPendingMarks {
+		logf("mark queue full; dropping oldest (%s %s -> %s)", f.pending[0].kind, f.pending[0].subject, f.pending[0].peer)
+		f.pending = f.pending[1:]
+	}
+	f.pending = append(f.pending, m)
+}
+
+// broadcastMark tells every surviving peer a membership fact. A peer
+// that cannot be reached right now gets the mark queued: membership
+// facts must eventually land everywhere, or routed batches ping-pong
+// between the orchestrator's view and a stale peer's forever.
+func (f *fleet) broadcastMark(kind, subject string) {
 	for _, m := range f.aliveMembers() {
-		if err := f.post(m.URL + "/cluster/dead?node=" + id); err != nil {
-			logf("peer %s rejected dead-mark of %s: %v", m.ID, id, err)
+		if m.ID == subject {
+			continue
+		}
+		mk := mark{kind: kind, subject: subject, peer: m.ID}
+		url, _ := f.markURL(mk)
+		if err := f.post(url); err != nil {
+			logf("peer %s missed %s-mark of %s (%v); queued for re-broadcast", m.ID, kind, subject, err)
+			f.enqueueMark(mk)
 		}
 	}
+}
+
+// markLoop re-delivers queued marks until each is acked or its target
+// peer is itself dead. Runs until stop closes; a final drain pass at
+// shutdown gives every mark one last attempt.
+func (f *fleet) markLoop(every time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			f.redeliverMarks()
+			return
+		case <-ticker.C:
+			f.redeliverMarks()
+		}
+	}
+}
+
+func (f *fleet) redeliverMarks() {
+	f.mu.Lock()
+	batch := f.pending
+	f.pending = nil
+	f.mu.Unlock()
+	for _, mk := range batch {
+		if peer, ok := f.members.Get(mk.peer); !ok || peer.State == cluster.Dead {
+			continue // the peer died; its view no longer matters
+		}
+		url, ok := f.markURL(mk)
+		if !ok {
+			continue
+		}
+		if err := f.post(url); err != nil {
+			f.enqueueMark(mk) // still unreachable; keep trying
+			continue
+		}
+		logf("re-broadcast %s-mark of %s delivered to %s", mk.kind, mk.subject, mk.peer)
+	}
+}
+
+// broadcastDead tells every surviving peer that id is gone.
+func (f *fleet) broadcastDead(id string) {
+	f.members.MarkDead(id)
+	f.broadcastMark("dead", id)
 	logf("node %s declared dead to the fleet", id)
 }
 
@@ -110,19 +208,65 @@ func (f *fleet) drainNode(id string) {
 		return
 	}
 	f.members.MarkDraining(id)
-	for _, peer := range f.aliveMembers() {
-		if err := f.post(peer.URL + "/cluster/draining?node=" + id); err != nil {
-			logf("peer %s rejected drain-mark of %s: %v", peer.ID, id, err)
-		}
-	}
+	f.broadcastMark("draining", id)
 	logf("node %s draining", id)
 }
 
-// healthLoop polls every member's /cluster/status; fails consecutive
-// misses before declaring death, so one slow scrape does not shrink the
-// cluster.
-func (f *fleet) healthLoop(every time.Duration, fails int, stop <-chan struct{}) {
-	misses := make(map[string]int)
+// degradationCounters are the self-reported metrics the health loop
+// folds into suspicion: a node acking in degraded mode or failing WAL
+// writes is in trouble even while its status endpoint answers quickly.
+var degradationCounters = []string{"repl_ack_timeouts_total", "cluster_wal_errors_total"}
+
+// scrapeDegradation reads a node's /metrics (Prometheus text form) and
+// returns the degradation counters' increase since the last scrape.
+func (f *fleet) scrapeDegradation(m cluster.Member) (ackDelta, walDelta uint64) {
+	resp, err := f.httpc.Get(m.URL + "/metrics?format=prometheus")
+	if err != nil {
+		return 0, 0 // the status probe already judged reachability
+	}
+	defer resp.Body.Close()
+	cur := make(map[string]float64, len(degradationCounters))
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		for _, want := range degradationCounters {
+			if name == want {
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					cur[name] = v
+				}
+			}
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.prevMetrics == nil {
+		f.prevMetrics = make(map[string]map[string]float64)
+	}
+	prev := f.prevMetrics[m.ID]
+	f.prevMetrics[m.ID] = cur
+	delta := func(name string) uint64 {
+		d := cur[name] - prev[name]
+		if prev == nil || d <= 0 {
+			return 0
+		}
+		return uint64(d)
+	}
+	return delta("repl_ack_timeouts_total"), delta("cluster_wal_errors_total")
+}
+
+// healthLoop polls every member's /cluster/status and feeds the
+// suspicion scorer: probe outcome, RTT against the latency budget, and
+// the node's self-reported degradation deltas. Only a Dead verdict —
+// sustained hard failure, never latency or flap — triggers the death
+// broadcast.
+func (f *fleet) healthLoop(every time.Duration, stop <-chan struct{}) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
@@ -135,17 +279,26 @@ func (f *fleet) healthLoop(every time.Duration, fails int, stop <-chan struct{})
 			if m.State == cluster.Dead {
 				continue
 			}
+			start := time.Now()
 			resp, err := f.httpc.Get(m.URL + "/cluster/status")
+			rtt := time.Since(start)
 			if err == nil {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("HTTP %d", resp.StatusCode)
+				}
 			}
-			if err == nil && resp.StatusCode == http.StatusOK {
-				misses[m.ID] = 0
-				continue
+			smp := cluster.Sample{Err: err != nil, RTT: rtt}
+			if err == nil {
+				smp.AckTimeouts, smp.WALErrors = f.scrapeDegradation(m)
 			}
-			misses[m.ID]++
-			if misses[m.ID] >= fails {
+			was := f.scorer.Verdict(m.ID)
+			verdict := f.scorer.Observe(m.ID, smp)
+			if verdict != was {
+				logf("node %s: %s -> %s (score %.2f)", m.ID, was, verdict, f.scorer.Score(m.ID))
+			}
+			if verdict == cluster.DeadVerdict {
 				f.broadcastDead(m.ID)
 			}
 		}
@@ -223,8 +376,12 @@ type probeArgs struct {
 }
 
 // fetchSnapshot pulls and decodes one store snapshot endpoint.
-func (f *fleet) fetchSnapshot(url string) (*store.DB, error) {
-	resp, err := f.httpc.Get(url)
+func (f *fleet) fetchSnapshot(ctx context.Context, url string) (*store.DB, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.httpc.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -239,10 +396,32 @@ func (f *fleet) fetchSnapshot(url string) (*store.DB, error) {
 	return store.DecodeSnapshot(body)
 }
 
+// fetchSnapshotRetry wraps fetchSnapshot in a short jittered backoff —
+// one flapping moment on a live node must not abort the whole merge.
+func (f *fleet) fetchSnapshotRetry(url string) (*store.DB, error) {
+	bo := resilient.NewBackoff(100*time.Millisecond, time.Second, uint64(time.Now().UnixNano()))
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			if err := resilient.Sleep(context.Background(), nil, bo.Next()); err != nil {
+				break
+			}
+		}
+		db, err := f.fetchSnapshot(context.Background(), url)
+		if err == nil {
+			return db, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // mergeCluster assembles the deterministic cross-node merge: every
 // non-dead node's own shards, plus each dead node's shards recovered
 // from whichever survivor holds its replica. Exactly one store per
-// node — double-counting a shard would shift every table.
+// node — double-counting a shard would shift every table. Replica
+// fetches are hedged across the survivors: a gray-failing survivor
+// holds one attempt hostage while the hedge completes from another.
 func (f *fleet) mergeCluster() (*store.DB, error) {
 	var dbs []*store.DB
 	var dead []string
@@ -254,7 +433,7 @@ func (f *fleet) mergeCluster() (*store.DB, error) {
 		}
 		// Draining nodes still serve reads; their shards are theirs.
 		serving = append(serving, m)
-		db, err := f.fetchSnapshot(m.URL + "/cluster/snapshot")
+		db, err := f.fetchSnapshotRetry(m.URL + "/cluster/snapshot")
 		if err != nil {
 			return nil, fmt.Errorf("snapshot from %s: %w", m.ID, err)
 		}
@@ -262,21 +441,22 @@ func (f *fleet) mergeCluster() (*store.DB, error) {
 		logf("node %s: %d tested, %d proxied", m.ID, db.Totals().Tested, db.Totals().Proxied)
 	}
 	for _, id := range dead {
-		var db *store.DB
-		var lastErr error
+		id := id
+		attempts := make([]func(context.Context) (*store.DB, error), 0, len(serving))
 		for _, m := range serving {
-			got, err := f.fetchSnapshot(m.URL + "/cluster/replica?node=" + id)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			db = got
-			logf("node %s (dead): recovered from %s's replica: %d tested, %d proxied",
-				id, m.ID, db.Totals().Tested, db.Totals().Proxied)
-			break
+			m := m
+			attempts = append(attempts, func(ctx context.Context) (*store.DB, error) {
+				db, err := f.fetchSnapshot(ctx, m.URL+"/cluster/replica?node="+id)
+				if err == nil {
+					logf("node %s (dead): recovered from %s's replica: %d tested, %d proxied",
+						id, m.ID, db.Totals().Tested, db.Totals().Proxied)
+				}
+				return db, err
+			})
 		}
-		if db == nil {
-			return nil, fmt.Errorf("no survivor holds a replica of dead node %s: %v", id, lastErr)
+		db, err := resilient.Hedge(context.Background(), 2*time.Second, attempts...)
+		if err != nil {
+			return nil, fmt.Errorf("no survivor holds a replica of dead node %s: %v", id, err)
 		}
 		dbs = append(dbs, db)
 	}
@@ -322,14 +502,17 @@ func main() {
 		probeXtra = flag.String("probe-args", "", "extra arguments appended to every probe command line")
 
 		healthEvery = flag.Duration("health-every", 500*time.Millisecond, "node health poll cadence")
-		healthFails = flag.Int("health-fails", 3, "consecutive failed health polls before a node is declared dead")
+		healthFails = flag.Int("health-fails", 3, "consecutive hard probe failures required (with a saturated suspicion score) before a node is declared dead")
+		latBudget   = flag.Duration("latency-budget", 250*time.Millisecond, "status-probe RTT a healthy node should beat; slower probes raise suspicion")
 		drainIDs    = flag.String("drain", "", "comma-separated node IDs to drain after -drain-after")
 		deadIDs     = flag.String("dead", "", "comma-separated node IDs already known dead (broadcast before the run; their shards merge from replicas)")
 		drainAfter  = flag.Duration("drain-after", 2*time.Second, "delay before draining -drain nodes")
 
-		merge   = flag.Bool("merge", true, "fetch and merge every node's tables at the end of the run")
-		outPath = flag.String("out", "", "write merged tables here (default stdout)")
-		timeout = flag.Duration("timeout", 30*time.Second, "HTTP timeout for cluster control calls")
+		merge    = flag.Bool("merge", true, "fetch and merge every node's tables at the end of the run")
+		outPath  = flag.String("out", "", "write merged tables here (default stdout)")
+		connectT = flag.Duration("connect-timeout", 5*time.Second, "TCP connect deadline for cluster calls")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-read idle deadline for cluster calls (a moving transfer may run longer)")
+		chaos    = flag.String("chaos", "", "chaos plan for fleetctl's own links (faultnet DSL, e.g. 'for=2s;cut=fleetctl:b,for=3s;'); endpoints are node IDs")
 	)
 	flag.Parse()
 
@@ -344,7 +527,30 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	f := &fleet{members: members, httpc: &http.Client{Timeout: *timeout}}
+
+	var dial resilient.DialFunc
+	if *chaos != "" {
+		plan, err := faultnet.ParseChaosSpec(*chaos)
+		if err != nil {
+			fatalf("-chaos: %v", err)
+		}
+		ctrl := faultnet.NewController(plan)
+		for _, m := range memberList {
+			if host := strings.TrimPrefix(strings.TrimPrefix(m.URL, "http://"), "https://"); host != "" {
+				ctrl.Register(m.ID, strings.TrimSuffix(host, "/"))
+			}
+		}
+		ctrl.Start()
+		defer ctrl.Stop()
+		dial = ctrl.DialContext("fleetctl", nil)
+		logf("chaos plan armed: %d phases", len(plan.Phases))
+	}
+
+	f := &fleet{
+		members: members,
+		httpc:   resilient.SplitTimeoutClient(*connectT, *timeout, dial),
+		scorer:  cluster.NewScorer(cluster.SuspicionConfig{LatencyBudget: *latBudget, MinDeadFails: *healthFails}),
+	}
 
 	for _, id := range strings.Split(*deadIDs, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -352,9 +558,15 @@ func main() {
 		}
 	}
 
-	// The run is bounded by the probes; the health loop runs alongside.
+	// The run is bounded by the probes; the health and mark loops run
+	// alongside.
 	stopHealth := make(chan struct{})
-	go f.healthLoop(*healthEvery, *healthFails, stopHealth)
+	go f.healthLoop(*healthEvery, stopHealth)
+	markDone := make(chan struct{})
+	go func() {
+		defer close(markDone)
+		f.markLoop(*healthEvery, stopHealth)
+	}()
 
 	if *drainIDs != "" {
 		go func() {
@@ -387,6 +599,7 @@ func main() {
 		logf("all probes finished")
 	}
 	close(stopHealth)
+	<-markDone // final re-broadcast drain before the merge routes reads
 
 	if !*merge {
 		return

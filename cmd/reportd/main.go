@@ -48,8 +48,10 @@ import (
 	"tlsfof/internal/cluster"
 	"tlsfof/internal/core"
 	"tlsfof/internal/durable"
+	"tlsfof/internal/faultnet"
 	"tlsfof/internal/geo"
 	"tlsfof/internal/ingest"
+	"tlsfof/internal/resilient"
 	"tlsfof/internal/store"
 	"tlsfof/internal/telemetry"
 	"tlsfof/internal/x509util"
@@ -82,6 +84,11 @@ type serverConfig struct {
 	// full "id=url,..." member list including this node.
 	clusterID    string
 	clusterPeers string
+	// chaosSpec, when non-empty, arms a faultnet chaos controller on this
+	// node's outbound links (replication tails, snapshot catch-ups, relay
+	// forwards): a wall-clock phase schedule of cuts, latency, and
+	// throttles in the faultnet DSL. Endpoint names are peer member IDs.
+	chaosSpec string
 }
 
 // server is the assembled reporting server. Exactly one of pipeline
@@ -102,6 +109,10 @@ type server struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 	ring   *telemetry.EventRing
+
+	// chaos, in cluster mode with -chaos, injects the armed link faults
+	// into every outbound peer connection. Nil otherwise.
+	chaos *faultnet.Controller
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -118,6 +129,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	tracer := telemetry.NewTracer(reg, 0)
 	var pipeline *ingest.Pipeline
 	var node *cluster.Node
+	var chaos *faultnet.Controller
 	var recovery []durable.Info
 	var sink core.Sink
 	if cfg.clusterID != "" {
@@ -128,16 +140,32 @@ func newServer(cfg serverConfig) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
-		node, err = cluster.Open(cluster.Config{
-			ID:      cfg.clusterID,
-			Members: members,
-			DataDir: cfg.dataDir,
-			Shards:  cfg.shards,
+		ccfg := cluster.Config{
+			ID:       cfg.clusterID,
+			Members:  members,
+			DataDir:  cfg.dataDir,
+			Shards:   cfg.shards,
 			Registry: reg,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(cfg.logw, "reportd: "+format+"\n", args...)
 			},
-		})
+		}
+		if cfg.chaosSpec != "" {
+			plan, err := faultnet.ParseChaosSpec(cfg.chaosSpec)
+			if err != nil {
+				return nil, fmt.Errorf("reportd: -chaos: %w", err)
+			}
+			ctrl := faultnet.NewController(plan)
+			for _, m := range members {
+				host := strings.TrimPrefix(strings.TrimPrefix(m.URL, "http://"), "https://")
+				ctrl.Register(m.ID, strings.TrimSuffix(host, "/"))
+			}
+			ctrl.Start()
+			chaos = ctrl
+			ccfg.HTTPClient = resilient.SplitTimeoutClient(0, 0, ctrl.DialContext(cfg.clusterID, nil))
+			fmt.Fprintf(cfg.logw, "reportd: chaos plan armed on %s's links: %d phases\n", cfg.clusterID, len(plan.Phases))
+		}
+		node, err = cluster.Open(ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +205,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s := &server{
 		cfg: cfg, pipeline: pipeline, node: node, col: col, recovery: recovery, started: time.Now(),
-		reg: reg, tracer: tracer, ring: telemetry.NewEventRing(0),
+		reg: reg, tracer: tracer, ring: telemetry.NewEventRing(0), chaos: chaos,
 	}
 	for i, info := range recovery {
 		if info.LastSeq > 0 || info.DroppedTail {
@@ -237,6 +265,13 @@ func (s *server) summary() string {
 func (s *server) metrics() map[string]any {
 	m := map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
+	}
+	if s.chaos != nil {
+		m["chaos"] = map[string]any{
+			"phase": s.chaos.PhaseName(),
+			"flaps": s.chaos.Flaps(),
+			"links": s.chaos.StatsSummary(),
+		}
 	}
 	if s.node != nil {
 		m["cluster"] = s.node.Status()
@@ -391,6 +426,9 @@ func (s *server) serve(sig <-chan os.Signal) error {
 				time.Sleep(500 * time.Millisecond)
 				err = nil // mitigated; only persistence failures below are fatal
 			}
+			if s.chaos != nil {
+				s.chaos.Stop()
+			}
 			if s.node != nil {
 				// Cluster shutdown: stop followers (final replica sync),
 				// fsync and close every WAL.
@@ -457,6 +495,7 @@ func main() {
 		selfRef   = flag.String("selfsigned", "", "generate an in-process self-signed authoritative chain for this host (smoke tests / CI; no PEM files needed)")
 		clusterID = flag.String("cluster-id", "", "run as this member of a reportd cluster (requires -cluster-peers and -data-dir)")
 		clusterPs = flag.String("cluster-peers", "", "full cluster member list as id=url,id=url,... (including this node)")
+		chaosSpec = flag.String("chaos", "", "chaos plan for outbound cluster links, e.g. 'seed=7; name=cut, for=10s, cut=a:b' (endpoints are cluster member IDs)")
 	)
 	flag.Parse()
 
@@ -527,6 +566,7 @@ func main() {
 		logw:          os.Stdout,
 		clusterID:     *clusterID,
 		clusterPeers:  *clusterPs,
+		chaosSpec:     *chaosSpec,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,6 +11,9 @@ import (
 
 	"tlsfof/internal/core"
 	"tlsfof/internal/ingest"
+	"tlsfof/internal/resilient"
+	"tlsfof/internal/stats"
+	"tlsfof/internal/telemetry"
 )
 
 // DefaultRouteBatch is measurements buffered per owner before a flush.
@@ -18,14 +22,27 @@ const DefaultRouteBatch = 512
 // RouteStats is the router's delivery accounting: with sync-acked nodes,
 // Delivered + buffered == ingested, and Lost must stay zero.
 type RouteStats struct {
-	Ingested       uint64 `json:"ingested"`
-	Delivered      uint64 `json:"delivered"`
-	Batches        uint64 `json:"batches"`
-	Retries        uint64 `json:"retries"`
+	Ingested        uint64 `json:"ingested"`
+	Delivered       uint64 `json:"delivered"`
+	Batches         uint64 `json:"batches"`
+	Retries         uint64 `json:"retries"`
 	NotOwnerRetries uint64 `json:"not_owner_retries"`
-	Rerouted       uint64 `json:"rerouted"`
-	DeadMarked     uint64 `json:"dead_marked"`
-	Lost           uint64 `json:"lost"`
+	Rerouted        uint64 `json:"rerouted"`
+	DeadMarked      uint64 `json:"dead_marked"`
+	Lost            uint64 `json:"lost"`
+	// BreakerOpens counts per-peer circuit-breaker trips: the router
+	// stopped hammering a peer that kept failing and went straight to
+	// the relay path until the cooldown probe succeeded.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// Relayed counts batches delivered through a reachable peer because
+	// the direct link to the owner was down while the owner itself was
+	// not provably dead.
+	Relayed uint64 `json:"relayed"`
+	// DuplicateAcks counts acks answered from the owner's dedup table: a
+	// previous attempt applied the batch but its ack died on the wire
+	// (the asymmetric-partition window). Delivered counts such a batch
+	// exactly once — on this ack, the only one the router ever saw.
+	DuplicateAcks uint64 `json:"duplicate_acks"`
 }
 
 // RouteConfig configures a RouteClient.
@@ -33,15 +50,35 @@ type RouteConfig struct {
 	// Members is the router's cluster view. The client updates it (marks
 	// nodes dead) when delivery proves a node gone.
 	Members *Membership
-	// HTTPClient defaults to a 30s-timeout client.
+	// HTTPClient defaults to a split-deadline client
+	// (resilient.SplitTimeoutClient with its defaults).
 	HTTPClient *http.Client
 	// BatchSize is per-owner buffering (default DefaultRouteBatch).
 	BatchSize int
-	// Retries is transport-level retries per batch before the target is
-	// declared dead (default 2).
+	// Retries is transport-level retries per batch against the direct
+	// owner link before the relay path is tried (default 2).
 	Retries int
-	// RetryDelay sleeps between transport retries (default 50ms).
+	// RetryDelay is the backoff base between transport retries (default
+	// 50ms). Actual sleeps are capped jittered exponential: attempt k
+	// draws from [d/2, d) where d = min(RetryCap, RetryDelay<<k).
 	RetryDelay time.Duration
+	// RetryCap caps one backoff sleep (default 8×RetryDelay).
+	RetryCap time.Duration
+	// BreakerThreshold is consecutive direct-delivery failures before a
+	// peer's breaker opens (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses direct
+	// attempts before admitting a half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// Seed drives batch-ID generation and retry jitter; a seeded router
+	// replays an identical schedule. 0 derives a seed from the clock.
+	Seed uint64
+	// Stop aborts in-flight retry sleeps when closed (e.g. study
+	// shutdown). Nil means sleeps run to completion.
+	Stop <-chan struct{}
+	// Registry, when set, exposes the router's accounting as metrics
+	// (route_* gauges mirroring RouteStats).
+	Registry *telemetry.Registry
 	// Logf, when set, receives routing one-liners.
 	Logf func(format string, args ...any)
 }
@@ -50,16 +87,26 @@ type RouteConfig struct {
 // node owning each host. It buffers one batch per owner, reroutes on
 // not-owner verdicts (a draining or stale target names the new owner)
 // and on node death, and records delivery accounting strong enough for
-// the kill test to assert zero loss. Ingest and Flush serialize on one
-// lock — use one RouteClient per producing goroutine or accept the
-// serialization.
+// the kill test to assert zero loss.
+//
+// Delivery is self-healing: every batch carries a dedup ID so retries
+// after a lost ack cannot double count; per-peer circuit breakers stop
+// hammering a failing direct link; and when the direct link to a live
+// owner is cut the batch relays through a reachable peer. A node is
+// marked dead only after the direct path AND every relay path failed —
+// an unreachable-to-us-but-alive node keeps its shards.
+//
+// Ingest and Flush serialize on one lock — use one RouteClient per
+// producing goroutine or accept the serialization.
 type RouteClient struct {
 	cfg RouteConfig
 
-	mu    sync.Mutex
-	bufs  map[string][]core.Measurement
-	stats RouteStats
-	err   error
+	mu       sync.Mutex
+	bufs     map[string][]core.Measurement
+	stats    RouteStats
+	err      error
+	rng      *stats.RNG
+	breakers map[string]*resilient.Breaker
 }
 
 // NewRouteClient builds a router over cfg.Members (required).
@@ -68,7 +115,7 @@ func NewRouteClient(cfg RouteConfig) (*RouteClient, error) {
 		return nil, fmt.Errorf("cluster: RouteConfig.Members required")
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+		cfg.HTTPClient = resilient.SplitTimeoutClient(0, 0, nil)
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = DefaultRouteBatch
@@ -79,10 +126,55 @@ func NewRouteClient(cfg RouteConfig) (*RouteClient, error) {
 	if cfg.RetryDelay <= 0 {
 		cfg.RetryDelay = 50 * time.Millisecond
 	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 8 * cfg.RetryDelay
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = uint64(time.Now().UnixNano())
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &RouteClient{cfg: cfg, bufs: make(map[string][]core.Measurement)}, nil
+	rc := &RouteClient{
+		cfg:      cfg,
+		bufs:     make(map[string][]core.Measurement),
+		rng:      stats.NewRNG(cfg.Seed),
+		breakers: make(map[string]*resilient.Breaker),
+	}
+	if cfg.Registry != nil {
+		rc.mountMetrics(cfg.Registry)
+	}
+	return rc, nil
+}
+
+func (rc *RouteClient) mountMetrics(reg *telemetry.Registry) {
+	field := func(name, help string, f func(RouteStats) uint64) {
+		reg.GaugeFunc(name, help, func() float64 { return float64(f(rc.Stats())) })
+	}
+	field("route_delivered_total", "measurements acked by their owning node", func(s RouteStats) uint64 { return s.Delivered })
+	field("route_retries_total", "transport-level delivery retries", func(s RouteStats) uint64 { return s.Retries })
+	field("route_rerouted_total", "measurements re-split after a failed or disowned delivery", func(s RouteStats) uint64 { return s.Rerouted })
+	field("route_breaker_opens_total", "per-peer circuit-breaker trips", func(s RouteStats) uint64 { return s.BreakerOpens })
+	field("route_relayed_total", "batches delivered through a relay peer", func(s RouteStats) uint64 { return s.Relayed })
+	field("route_duplicate_acks_total", "batch acks answered from an owner's dedup table", func(s RouteStats) uint64 { return s.DuplicateAcks })
+	field("route_dead_marked_total", "peers this router declared dead", func(s RouteStats) uint64 { return s.DeadMarked })
+	field("route_lost_total", "measurements the router could not deliver anywhere", func(s RouteStats) uint64 { return s.Lost })
+}
+
+// breakerFor returns the peer's breaker, creating it closed.
+func (rc *RouteClient) breakerFor(id string) *resilient.Breaker {
+	br := rc.breakers[id]
+	if br == nil {
+		br = resilient.NewBreaker(rc.cfg.BreakerThreshold, rc.cfg.BreakerCooldown, nil)
+		rc.breakers[id] = br
+	}
+	return br
 }
 
 // Ingest buffers one measurement toward its owning node, flushing the
@@ -166,13 +258,13 @@ func (rc *RouteClient) flushOwnerLocked(id string, depth int) {
 		reroute("no longer alive")
 		return
 	}
-	res, err := rc.postBatch(member, batch)
+	res, err := rc.deliverBatch(member, batch)
 	switch {
 	case err != nil:
-		// Transport-level failure after retries: declare the node dead so
-		// the ring moves on, then re-split. With sync-acked ingest an
-		// undelivered batch never touched the dead node's WAL, so the
-		// retry cannot double count.
+		// Direct AND relay delivery failed: from everywhere we can reach,
+		// the node is gone. Declare it dead so the ring moves on, then
+		// re-split. With sync-acked ingest an undelivered batch never
+		// touched the dead node's WAL, so the retry cannot double count.
 		if rc.cfg.Members.MarkDead(id) {
 			rc.stats.DeadMarked++
 			rc.cfg.Logf("cluster route: marked %s dead after %v", id, err)
@@ -189,23 +281,84 @@ func (rc *RouteClient) flushOwnerLocked(id string, depth int) {
 	case res.Error != "":
 		rc.fail(fmt.Errorf("cluster: node %s rejected batch: %s", id, res.Error))
 	default:
+		if res.Duplicate {
+			rc.stats.DuplicateAcks++
+		}
 		rc.stats.Delivered += uint64(res.Accepted)
 		rc.stats.Batches++
+		if res.Owner != "" && res.Owner != id {
+			// A relay peer applied the batch as owner: in its fresher view
+			// our target no longer owns anything. Fold that in — the data
+			// is safe where it landed, and future batches should go
+			// straight to the real owner instead of relaying forever.
+			if rc.cfg.Members.MarkDead(id) {
+				rc.stats.DeadMarked++
+				rc.cfg.Logf("cluster route: marked %s dead (relay peer %s owns its arcs)", id, res.Owner)
+			}
+		}
 	}
 }
 
-// postBatch sends one encoded batch with transport retries. A non-2xx
-// status or connection error after the retry budget returns an error;
-// decoded verdicts (including not-owner) return normally.
-func (rc *RouteClient) postBatch(member Member, ms []core.Measurement) (ingest.BatchResult, error) {
-	body := AppendMeasurements(nil, ms)
+// deliverBatch pushes one batch to its owner: the direct link first
+// (breaker permitting, with backoff retries), then relayed through each
+// reachable alive peer. The batch ID makes the whole sequence
+// idempotent — whichever path lands first wins and every other arrival
+// is answered from the owner's dedup table.
+func (rc *RouteClient) deliverBatch(member Member, ms []core.Measurement) (ingest.BatchResult, error) {
+	id := rc.nextBatchID()
+	body := AppendMeasurementsID(nil, id, ms)
+	br := rc.breakerFor(member.ID)
+	var directErr error
+	if br.Allow() {
+		res, err := rc.postBody(member, body, false, rc.cfg.Retries)
+		if err == nil {
+			br.Success()
+			return res, nil
+		}
+		before := br.Opens()
+		br.Failure()
+		rc.stats.BreakerOpens += br.Opens() - before
+		directErr = err
+	} else {
+		directErr = fmt.Errorf("cluster: breaker open for %s", member.ID)
+	}
+	// The direct link is down but that proves nothing about the node —
+	// the fault may be our link. Triangle-route through peers that can
+	// still hear us; the owner's verdict travels back verbatim.
+	for _, peer := range rc.cfg.Members.Members() {
+		if peer.ID == member.ID || peer.State != Alive {
+			continue
+		}
+		res, err := rc.postBody(peer, body, true, 0)
+		if err != nil {
+			continue // this relay path is down too; try the next peer
+		}
+		rc.stats.Relayed++
+		rc.cfg.Logf("cluster route: relayed batch to %s via %s", member.ID, peer.ID)
+		return res, nil
+	}
+	return ingest.BatchResult{}, directErr
+}
+
+// postBody sends one encoded batch with up to retries backoff-spaced
+// retries. A non-2xx status or connection error after the retry budget
+// returns an error; decoded verdicts (including not-owner) return
+// normally. Relay requests ask the target to forward to the true owner.
+func (rc *RouteClient) postBody(member Member, body []byte, relay bool, retries int) (ingest.BatchResult, error) {
+	url := member.URL + "/cluster/ingest"
+	if relay {
+		url += "?relay=1"
+	}
+	bo := resilient.NewBackoff(rc.cfg.RetryDelay, rc.cfg.RetryCap, rc.rng.Uint64())
 	var lastErr error
-	for attempt := 0; attempt <= rc.cfg.Retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			rc.stats.Retries++
-			time.Sleep(rc.cfg.RetryDelay)
+			if err := resilient.Sleep(context.Background(), rc.cfg.Stop, bo.Next()); err != nil {
+				return ingest.BatchResult{}, err
+			}
 		}
-		resp, err := rc.cfg.HTTPClient.Post(member.URL+"/cluster/ingest", "application/octet-stream", bytes.NewReader(body))
+		resp, err := rc.cfg.HTTPClient.Post(url, "application/octet-stream", bytes.NewReader(body))
 		if err != nil {
 			lastErr = err
 			continue
@@ -224,4 +377,13 @@ func (rc *RouteClient) postBatch(member Member, ms []core.Measurement) (ingest.B
 		lastErr = fmt.Errorf("cluster: %s: HTTP %d", member.URL, resp.StatusCode)
 	}
 	return ingest.BatchResult{}, lastErr
+}
+
+// nextBatchID draws a non-zero dedup ID from the router's seeded RNG.
+func (rc *RouteClient) nextBatchID() uint64 {
+	for {
+		if id := rc.rng.Uint64(); id != 0 {
+			return id
+		}
+	}
 }

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"tlsfof/internal/ingest"
+)
+
+// TestDedupClaimResolvedVerdict: a kept verdict answers every later
+// claim of the same ID without blocking.
+func TestDedupClaimResolvedVerdict(t *testing.T) {
+	var d dedupTable
+	e, _, dup := d.claim(7)
+	if dup {
+		t.Fatal("fresh ID reported as duplicate")
+	}
+	d.resolve(7, e, ingest.BatchResult{Accepted: 3}, true)
+	_, res, dup := d.claim(7)
+	if !dup || res.Accepted != 3 {
+		t.Fatalf("retry of a kept verdict: dup=%v res=%+v", dup, res)
+	}
+}
+
+// TestDedupClaimBlocksInflightTwin pins the double-apply race the chaos
+// matrix exposed: a twin arriving while the first copy is mid-apply
+// must wait for that verdict instead of missing the lookup and
+// re-applying the batch.
+func TestDedupClaimBlocksInflightTwin(t *testing.T) {
+	var d dedupTable
+	e, _, dup := d.claim(42)
+	if dup {
+		t.Fatal("fresh ID reported as duplicate")
+	}
+	got := make(chan ingest.BatchResult, 1)
+	go func() {
+		_, res, dup := d.claim(42)
+		if !dup {
+			res.Accepted = -1 // sentinel: the twin was allowed to re-run
+		}
+		got <- res
+	}()
+	select {
+	case <-got:
+		t.Fatal("twin claim returned while the first copy was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	d.resolve(42, e, ingest.BatchResult{Accepted: 9}, true)
+	res := <-got
+	if res.Accepted != 9 {
+		t.Fatalf("twin saw %+v, want the first copy's kept verdict", res)
+	}
+}
+
+// TestDedupAbandonedClaimHandsOver: a claim resolved without a durable
+// apply (NotOwner, error) must hand the ID to the waiting twin so the
+// retry genuinely re-runs.
+func TestDedupAbandonedClaimHandsOver(t *testing.T) {
+	var d dedupTable
+	e, _, _ := d.claim(5)
+	took := make(chan bool, 1)
+	go func() {
+		e2, _, dup := d.claim(5)
+		took <- !dup && e2 != nil
+		if e2 != nil {
+			d.resolve(5, e2, ingest.BatchResult{Accepted: 1}, true)
+		}
+	}()
+	d.resolve(5, e, ingest.BatchResult{NotOwner: true}, false)
+	if !<-took {
+		t.Fatal("twin was answered from an abandoned claim instead of taking over")
+	}
+	// And the takeover's verdict is now the one on record.
+	_, res, dup := d.claim(5)
+	if !dup || res.Accepted != 1 {
+		t.Fatalf("after takeover: dup=%v res=%+v", dup, res)
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"tlsfof/internal/core"
 	"tlsfof/internal/durable"
 	"tlsfof/internal/ingest"
+	"tlsfof/internal/resilient"
 	"tlsfof/internal/store"
 	"tlsfof/internal/telemetry"
 )
@@ -56,8 +58,19 @@ type Config struct {
 	// Registry receives replication and rebalance metrics; nil mounts
 	// them on a private registry.
 	Registry *telemetry.Registry
-	// HTTPClient is used by followers (default: 30s timeout).
+	// HTTPClient is used by followers and relay forwards. The default is
+	// a split-deadline client (resilient.SplitTimeoutClient): connect
+	// bounded by ConnectTimeout, every read bounded by IdleTimeout, no
+	// blanket total-transfer cap — a snapshot catch-up over a slow link
+	// may take as long as it keeps moving, while a stalled link fails at
+	// the idle deadline.
 	HTTPClient *http.Client
+	// ConnectTimeout bounds dialing a peer (default 5s). Ignored when
+	// HTTPClient is set.
+	ConnectTimeout time.Duration
+	// IdleTimeout bounds any single read making no progress (default
+	// 30s). Ignored when HTTPClient is set.
+	IdleTimeout time.Duration
 	// Logf, when set, receives operational one-liners.
 	Logf func(format string, args ...any)
 }
@@ -82,7 +95,7 @@ func (c Config) withDefaults() Config {
 		c.TailFrames = 8192
 	}
 	if c.HTTPClient == nil {
-		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+		c.HTTPClient = resilient.SplitTimeoutClient(c.ConnectTimeout, c.IdleTimeout, nil)
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
@@ -150,16 +163,99 @@ func (sh *shard) waitWatermark(last uint64, timeout time.Duration, stop <-chan s
 }
 
 type nodeMetrics struct {
-	tailPolls     *telemetry.Counter
-	framesServed  *telemetry.Counter
-	framesApplied *telemetry.Counter
-	snapsApplied  *telemetry.Counter
-	catchupPolls  *telemetry.Counter
-	ackWaits      *telemetry.Counter
-	ackTimeouts   *telemetry.Counter
-	batches       *telemetry.Counter
-	notOwner      *telemetry.Counter
-	measurements  *telemetry.Counter
+	tailPolls      *telemetry.Counter
+	framesServed   *telemetry.Counter
+	framesApplied  *telemetry.Counter
+	snapsApplied   *telemetry.Counter
+	catchupPolls   *telemetry.Counter
+	ackWaits       *telemetry.Counter
+	ackTimeouts    *telemetry.Counter
+	batches        *telemetry.Counter
+	notOwner       *telemetry.Counter
+	measurements   *telemetry.Counter
+	duplicates     *telemetry.Counter
+	relayForwarded *telemetry.Counter
+	relayFailed    *telemetry.Counter
+	walErrors      *telemetry.Counter
+}
+
+// dedupCap bounds the batch-verdict memory. 8192 Accepted verdicts is
+// hours of routed traffic; a retry arriving after eviction re-applies,
+// but only a client that kept retrying one batch across thousands of
+// others can get there, and the router gives up long before.
+const dedupCap = 8192
+
+// dedupTable remembers the verdicts of applied TFM2 batches so a retry
+// of a batch whose ack died on the wire (the asymmetric-partition
+// window) is answered from memory instead of double-counted. IDs are
+// claimed on arrival, not recorded at completion: a twin arriving while
+// its first copy is still mid-apply blocks until that verdict resolves.
+// Without the claim, a client whose read deadline fires during a slow
+// apply retries into a handler that is still running, the lookup
+// misses, and the batch lands twice. FIFO eviction — recency is
+// irrelevant, retries land within seconds.
+type dedupTable struct {
+	mu    sync.Mutex
+	seen  map[uint64]*dedupEntry
+	order []uint64
+}
+
+// dedupEntry is one claimed batch ID. done closes when the owning
+// request resolves; kept marks the verdict durable (the batch is
+// applied here and must never re-run).
+type dedupEntry struct {
+	done chan struct{}
+	res  ingest.BatchResult
+	kept bool
+}
+
+// claim registers the caller as id's handler. A previously kept verdict
+// returns (nil, verdict, true) immediately. A claim still in flight
+// blocks for its outcome: kept resolves to a duplicate, abandoned
+// (NotOwner, error — nothing applied) hands ownership to the caller.
+// On (entry, _, false) the caller MUST resolve the entry on every exit
+// or concurrent twins hang.
+func (d *dedupTable) claim(id uint64) (*dedupEntry, ingest.BatchResult, bool) {
+	for {
+		d.mu.Lock()
+		if e, ok := d.seen[id]; ok {
+			d.mu.Unlock()
+			<-e.done
+			d.mu.Lock()
+			res, kept := e.res, e.kept
+			d.mu.Unlock()
+			if kept {
+				return nil, res, true
+			}
+			continue // the twin applied nothing; take over as owner
+		}
+		if d.seen == nil {
+			d.seen = make(map[uint64]*dedupEntry)
+		}
+		e := &dedupEntry{done: make(chan struct{})}
+		d.seen[id] = e
+		d.order = append(d.order, id)
+		if len(d.order) > dedupCap {
+			delete(d.seen, d.order[0])
+			d.order = d.order[1:]
+		}
+		d.mu.Unlock()
+		return e, ingest.BatchResult{}, false
+	}
+}
+
+// resolve publishes the claimed verdict and wakes every waiting twin.
+// keep=false drops the entry so a retry can genuinely re-run. Operates
+// on the entry pointer, not the map — the claim may have been evicted
+// while in flight, and its waiters must still wake.
+func (d *dedupTable) resolve(id uint64, e *dedupEntry, res ingest.BatchResult, keep bool) {
+	d.mu.Lock()
+	e.res, e.kept = res, keep
+	if !keep && d.seen[id] == e {
+		delete(d.seen, id) // the stale order slot is tolerated by eviction
+	}
+	close(e.done)
+	d.mu.Unlock()
 }
 
 // Node is one reportd's cluster runtime: the local shards it owns, the
@@ -185,6 +281,7 @@ type Node struct {
 	killed   atomic.Bool
 	draining atomic.Bool
 	met      nodeMetrics
+	dedup    dedupTable
 }
 
 // Open recovers the node's own shards and replica logs from DataDir and
@@ -265,16 +362,20 @@ func (n *Node) shardOptions(dir string) durable.Options {
 
 func (n *Node) mountMetrics(reg *telemetry.Registry) {
 	n.met = nodeMetrics{
-		tailPolls:     reg.Counter("repl_tail_polls_total", "replication tail polls served"),
-		framesServed:  reg.Counter("repl_frames_served_total", "WAL frames served to replica followers"),
-		framesApplied: reg.Counter("repl_frames_applied_total", "WAL frames applied to replica logs"),
-		snapsApplied:  reg.Counter("repl_snapshots_applied_total", "snapshot catch-ups applied to replica logs"),
-		catchupPolls:  reg.Counter("repl_catchup_polls_total", "follower polls that applied at least one record"),
-		ackWaits:      reg.Counter("repl_ack_waits_total", "ingest batches that waited for replica acknowledgement"),
-		ackTimeouts:   reg.Counter("repl_ack_timeouts_total", "ingest batches acked in degraded mode after an ack timeout"),
-		batches:       reg.Counter("cluster_ingest_batches_total", "measurement batches accepted by this node"),
-		notOwner:      reg.Counter("cluster_ingest_not_owner_total", "measurement batches refused with a not-owner verdict"),
-		measurements:  reg.Counter("cluster_ingest_measurements_total", "measurements accepted by this node"),
+		tailPolls:      reg.Counter("repl_tail_polls_total", "replication tail polls served"),
+		framesServed:   reg.Counter("repl_frames_served_total", "WAL frames served to replica followers"),
+		framesApplied:  reg.Counter("repl_frames_applied_total", "WAL frames applied to replica logs"),
+		snapsApplied:   reg.Counter("repl_snapshots_applied_total", "snapshot catch-ups applied to replica logs"),
+		catchupPolls:   reg.Counter("repl_catchup_polls_total", "follower polls that applied at least one record"),
+		ackWaits:       reg.Counter("repl_ack_waits_total", "ingest batches that waited for replica acknowledgement"),
+		ackTimeouts:    reg.Counter("repl_ack_timeouts_total", "ingest batches acked in degraded mode after an ack timeout"),
+		batches:        reg.Counter("cluster_ingest_batches_total", "measurement batches accepted by this node"),
+		notOwner:       reg.Counter("cluster_ingest_not_owner_total", "measurement batches refused with a not-owner verdict"),
+		measurements:   reg.Counter("cluster_ingest_measurements_total", "measurements accepted by this node"),
+		duplicates:     reg.Counter("cluster_ingest_duplicates_total", "retried batches answered from the dedup table instead of re-applied"),
+		relayForwarded: reg.Counter("cluster_relay_forwarded_total", "relayed batches forwarded to their owner on a client's behalf"),
+		relayFailed:    reg.Counter("cluster_relay_failed_total", "relay forwards that could not reach the owner"),
+		walErrors:      reg.Counter("cluster_wal_errors_total", "shard WAL append or sync failures"),
 	}
 	reg.GaugeFunc("repl_lag_frames", "frames acked locally but not yet confirmed by the replica", func() float64 {
 		var lag uint64
@@ -374,9 +475,11 @@ func (n *Node) applyShard(si int, ms []core.Measurement) error {
 		return ErrNodeKilled
 	}
 	if err := sh.wal.AppendBatch(ms); err != nil {
+		n.met.walErrors.Inc()
 		return err
 	}
 	if err := sh.wal.Sync(); err != nil {
+		n.met.walErrors.Inc()
 		return err
 	}
 	last := sh.wal.NextSeq() - 1
@@ -689,6 +792,15 @@ func (n *Node) handleTail(w http.ResponseWriter, r *http.Request) {
 // refuses everything with a not-owner verdict before a single frame is
 // written, so a router's retry against the new owner can never double
 // count.
+//
+// Two extensions serve partition recovery. A TFM2 batch ID already in
+// the dedup table is answered with its stored verdict — even if
+// ownership has since moved, because the batch IS durably applied here
+// and will be merged from here; re-applying on the new owner would
+// double count. And ?relay=1 asks a reachable non-owner to forward the
+// batch to its true owner (one hop, the forward carries no relay flag):
+// the triangle route a client uses when its direct link to a live owner
+// is cut.
 func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -704,15 +816,37 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeRes(http.StatusRequestEntityTooLarge, ingest.BatchResult{Error: err.Error()})
 		return
 	}
-	ms, err := DecodeMeasurements(body)
+	ms, batchID, err := DecodeMeasurementsID(body)
 	if err != nil {
 		writeRes(http.StatusBadRequest, ingest.BatchResult{Error: err.Error()})
 		return
+	}
+	if batchID != 0 {
+		entry, res, dup := n.dedup.claim(batchID)
+		if dup {
+			n.met.duplicates.Inc()
+			res.Duplicate = true
+			writeRes(http.StatusOK, res)
+			return
+		}
+		// Every exit below runs through writeRes exactly once; resolving
+		// there keeps only durable verdicts (an accepted apply, direct or
+		// relayed) and releases any twin blocked on this claim.
+		inner := writeRes
+		writeRes = func(status int, res ingest.BatchResult) {
+			keep := status == http.StatusOK && res.Accepted > 0 && !res.NotOwner && res.Error == ""
+			n.dedup.resolve(batchID, entry, res, keep)
+			inner(status, res)
+		}
 	}
 	for _, m := range ms {
 		owned, owner := n.Owns(m.Host)
 		if owned {
 			continue
+		}
+		if r.URL.Query().Get("relay") == "1" && owner.ID != "" {
+			n.relayForward(w, writeRes, owner, body)
+			return
 		}
 		n.met.notOwner.Inc()
 		writeRes(http.StatusOK, ingest.BatchResult{NotOwner: true, Owner: owner.ID, OwnerURL: owner.URL})
@@ -722,5 +856,37 @@ func (n *Node) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeRes(http.StatusServiceUnavailable, ingest.BatchResult{Error: err.Error()})
 		return
 	}
-	writeRes(http.StatusOK, ingest.BatchResult{Accepted: len(ms)})
+	res := ingest.BatchResult{Accepted: len(ms)}
+	if r.URL.Query().Get("relay") == "1" {
+		// The sender believed someone else owned these hosts; we applied
+		// them as owner under our (fresher) view. Naming ourselves lets
+		// the sender fold the ownership change into its ring instead of
+		// relaying every future batch.
+		res.Owner = n.self.ID
+		res.OwnerURL = n.self.URL
+	}
+	writeRes(http.StatusOK, res)
+}
+
+// relayForward pushes a relayed batch to its owner and pipes the
+// owner's verdict back verbatim (the owner's dedup table makes the
+// extra hop idempotent). A transport failure or an unparseable reply
+// becomes a 502 so the relaying client can distinguish "relay path
+// broken" from the owner's own verdicts.
+func (n *Node) relayForward(w http.ResponseWriter, writeRes func(int, ingest.BatchResult), owner Member, body []byte) {
+	resp, err := n.cfg.HTTPClient.Post(owner.URL+"/cluster/ingest", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		n.met.relayFailed.Inc()
+		writeRes(http.StatusBadGateway, ingest.BatchResult{Error: fmt.Sprintf("relay to %s: %v", owner.ID, err)})
+		return
+	}
+	defer resp.Body.Close()
+	var res ingest.BatchResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res); err != nil {
+		n.met.relayFailed.Inc()
+		writeRes(http.StatusBadGateway, ingest.BatchResult{Error: fmt.Sprintf("relay to %s: bad reply: %v", owner.ID, err)})
+		return
+	}
+	n.met.relayForwarded.Inc()
+	writeRes(resp.StatusCode, res)
 }

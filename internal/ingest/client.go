@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tlsfof/internal/resilient"
 )
 
 // DefaultClientBatch is the report count at which Client flushes
@@ -62,9 +65,18 @@ type Client struct {
 	// reports; the study's aggregate tables tolerate that (§4's campaign
 	// counts are lower bounds).
 	Retries int
-	// RetryDelay is the pause before the first retry, doubling per
-	// attempt (50ms when 0).
+	// RetryDelay is the backoff base before the first retry (50ms when
+	// 0). Subsequent retries back off exponentially with jitter, capped
+	// at RetryCap.
 	RetryDelay time.Duration
+	// RetryCap bounds one backoff sleep (64×RetryDelay when 0).
+	RetryCap time.Duration
+	// Seed drives the retry jitter; a seeded client replays an identical
+	// backoff schedule. 0 derives a seed from the clock.
+	Seed uint64
+	// Stop, when closed, aborts in-flight retry sleeps — a shutting-down
+	// probe fleet must not hang on a dead collector's backoff.
+	Stop <-chan struct{}
 	// ResolveOwner maps a not-owner verdict to the URL the batch should
 	// be re-sent to, or "" when no retarget is possible (the verdict then
 	// becomes a final error). When nil, the default resolution joins the
@@ -201,10 +213,11 @@ const maxOwnerHops = 4
 // failures). anyTransport reports whether any attempt ended in a
 // transport error, i.e. whether body may still be referenced.
 func (c *Client) deliver(body []byte) (err error, anyTransport bool) {
-	delay := c.RetryDelay
-	if delay <= 0 {
-		delay = 50 * time.Millisecond
+	seed := c.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
 	}
+	bo := resilient.NewBackoff(c.RetryDelay, c.RetryCap, seed)
 	target := c.URL
 	var retryable, transport bool
 	var next string
@@ -234,8 +247,11 @@ func (c *Client) deliver(body []byte) (err error, anyTransport bool) {
 		c.mu.Lock()
 		c.stats.Retries++
 		c.mu.Unlock()
-		time.Sleep(delay)
-		delay *= 2
+		if serr := resilient.Sleep(context.Background(), c.Stop, bo.Next()); serr != nil {
+			// Shutdown mid-backoff: surface the delivery error, not the
+			// sleep's — the batch is still undelivered.
+			break
+		}
 	}
 	if err != nil {
 		c.mu.Lock()

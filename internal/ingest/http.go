@@ -30,6 +30,11 @@ type BatchResult struct {
 	NotOwner bool   `json:"not_owner,omitempty"`
 	Owner    string `json:"owner,omitempty"`
 	OwnerURL string `json:"owner_url,omitempty"`
+	// Duplicate marks an ack answered from the node's dedup table: the
+	// batch was applied by an earlier attempt whose ack never reached
+	// the client. Accepted carries the original count; nothing was
+	// re-applied.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // BatchHandler serves the binary batch-upload endpoint: POST a wire stream

@@ -1,0 +1,86 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrNoAttempts is returned by Hedge when called with no functions.
+var ErrNoAttempts = errors.New("resilient: hedge with no attempts")
+
+// Hedge races fns with staggered starts: the first starts immediately,
+// each subsequent one delay later unless an earlier attempt has already
+// succeeded. The first success wins and cancels the rest; if every
+// attempt fails, the last error is returned. This is the tail-latency
+// policy for replicated reads (a gray-failing replica holds one attempt
+// hostage while the hedge completes elsewhere), so callers must only
+// hedge idempotent operations.
+func Hedge[T any](ctx context.Context, delay time.Duration, fns ...func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if len(fns) == 0 {
+		return zero, ErrNoAttempts
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		v   T
+		err error
+	}
+	results := make(chan outcome, len(fns))
+	launch := func(fn func(context.Context) (T, error)) {
+		go func() {
+			v, err := fn(hctx)
+			results <- outcome{v, err}
+		}()
+	}
+	launch(fns[0])
+	next, pending := 1, 1
+	var timer *time.Timer
+	var tick <-chan time.Time
+	arm := func() {
+		if next >= len(fns) {
+			tick = nil
+			return
+		}
+		timer = time.NewTimer(delay)
+		tick = timer.C
+	}
+	arm()
+	var lastErr error
+	for pending > 0 {
+		select {
+		case <-tick:
+			launch(fns[next])
+			next++
+			pending++
+			arm()
+		case res := <-results:
+			pending--
+			if res.err == nil {
+				if timer != nil {
+					timer.Stop()
+				}
+				return res.v, nil
+			}
+			lastErr = res.err
+			// A failure un-staggers the next attempt: waiting out the
+			// hedge delay after a definitive error only adds latency.
+			if next < len(fns) {
+				if timer != nil {
+					timer.Stop()
+				}
+				launch(fns[next])
+				next++
+				pending++
+				arm()
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	return zero, lastErr
+}
