@@ -1,0 +1,247 @@
+// Command benchgate turns the BenchmarkIngestPipeline GOMAXPROCS sweep
+// into a pass/fail regression gate. It parses `go test -bench` output
+// (the sweep runs with -cpu 1,2,4,8) and enforces three rules against
+// the recorded baseline in BENCH_ingest.json:
+//
+//  1. Alloc budget: pipeline_shards_4 must stay at or under -max-allocs
+//     per op at every GOMAXPROCS (the slower-than-mutex bug was first
+//     visible as 3600 allocs/op of per-batch garbage; the budget pins
+//     the pooled pipeline a hard 5x below that).
+//  2. Ratio bound (machine-portable): at GOMAXPROCS=1 each pipeline
+//     case's ns/op, normalized by the same run's mutex_store ns/op,
+//     must not exceed the baseline's recorded ratio by more than
+//     -slack. Normalizing by the in-run mutex case cancels host speed,
+//     so the gate travels between CI runners without re-recording.
+//  3. Scaling (hardware-gated): on hosts with at least -scaling-cores
+//     real CPU cores, the sharded pipeline must actually win —
+//     shards-4 ns/op <= mutex ns/op at GOMAXPROCS 4 and 8. On smaller
+//     hosts (this repo's CI container exposes one core) the rule is
+//     reported SKIPPED: oversubscribed GOMAXPROCS adds no parallelism,
+//     and a pipeline that does strictly more total work than one
+//     uncontended mutex cannot win without real cores.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'BenchmarkIngestPipeline$' -benchtime 3x -cpu 1,2,4,8 . | tee sweep.txt
+//	go run ./cmd/benchgate -bench sweep.txt -baseline BENCH_ingest.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	kase     string // mutex, shards-1, shards-4, shards-8
+	cpu      int    // GOMAXPROCS for the sub-run
+	nsPerOp  float64
+	allocsOp float64
+}
+
+// knownCases maps sweep case names to baseline JSON result keys. Order
+// matters for suffix parsing: case names themselves contain dashes, so
+// the parser matches these names exactly before treating a trailing
+// -<n> as the GOMAXPROCS suffix.
+var knownCases = map[string]string{
+	"mutex":    "mutex_store",
+	"shards-1": "pipeline_shards_1",
+	"shards-4": "pipeline_shards_4",
+	"shards-8": "pipeline_shards_8",
+}
+
+// parseBench extracts BenchmarkIngestPipeline sub-results from `go test
+// -bench` output. Lines look like:
+//
+//	BenchmarkIngestPipeline/shards-4-8  3  65881982 ns/op  1517884 meas/sec  26651456 B/op  1011 allocs/op
+//
+// where the trailing -8 is the GOMAXPROCS suffix (absent at 1).
+func parseBench(path string) ([]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []result
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkIngestPipeline/") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "BenchmarkIngestPipeline/")
+		kase, cpu := splitCase(name)
+		if kase == "" {
+			continue
+		}
+		r := result{kase: kase, cpu: cpu}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "allocs/op":
+				r.allocsOp = v
+			}
+		}
+		if r.nsPerOp > 0 {
+			out = append(out, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+// splitCase separates "shards-4-8" into ("shards-4", 8) and "mutex"
+// into ("mutex", 1), matching known case names exactly.
+func splitCase(name string) (string, int) {
+	if _, ok := knownCases[name]; ok {
+		return name, 1
+	}
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		base := name[:i]
+		if _, ok := knownCases[base]; ok {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 1 {
+				return base, n
+			}
+		}
+	}
+	return "", 0
+}
+
+// baseline is the slice of BENCH_ingest.json the gate reads.
+type baseline struct {
+	Results map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+func loadBaseline(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(base.Results))
+	for k, v := range base.Results {
+		if v.NsPerOp > 0 {
+			out[k] = v.NsPerOp
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		benchPath    = flag.String("bench", "", "file holding `go test -bench` sweep output (required)")
+		basePath     = flag.String("baseline", "BENCH_ingest.json", "recorded baseline JSON")
+		maxAllocs    = flag.Float64("max-allocs", 720, "allocs/op budget for the shards-4 case at every GOMAXPROCS")
+		slack        = flag.Float64("slack", 1.10, "allowed multiple of the baseline case/mutex ns ratio at GOMAXPROCS=1")
+		scalingCores = flag.Int("scaling-cores", 4, "minimum real CPU cores before the pipeline>=mutex scaling rule is enforced")
+		cores        = flag.Int("cores", runtime.NumCPU(), "real CPU core count of this host (override for containers that misreport)")
+	)
+	flag.Parse()
+	if *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -bench is required")
+		os.Exit(2)
+	}
+	results, err := parseBench(*benchPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no BenchmarkIngestPipeline results in %s", *benchPath))
+	}
+	base, err := loadBaseline(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	byCase := map[string]map[int]result{}
+	for _, r := range results {
+		if byCase[r.kase] == nil {
+			byCase[r.kase] = map[int]result{}
+		}
+		byCase[r.kase][r.cpu] = r
+	}
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+
+	// Rule 1: alloc budget on the tracked case.
+	for cpu, r := range byCase["shards-4"] {
+		if r.allocsOp > *maxAllocs {
+			fail("shards-4 at GOMAXPROCS=%d: %.0f allocs/op exceeds budget %.0f", cpu, r.allocsOp, *maxAllocs)
+		} else {
+			fmt.Printf("ok    shards-4 at GOMAXPROCS=%d: %.0f allocs/op within budget %.0f\n", cpu, r.allocsOp, *maxAllocs)
+		}
+	}
+	if len(byCase["shards-4"]) == 0 {
+		fail("sweep is missing the shards-4 case")
+	}
+
+	// Rule 2: portable ratio bound at GOMAXPROCS=1.
+	mutex1, ok := byCase["mutex"][1]
+	if !ok {
+		fail("sweep is missing the mutex case at GOMAXPROCS=1")
+	} else {
+		baseMutex := base["mutex_store"]
+		for kase, key := range knownCases {
+			if kase == "mutex" {
+				continue
+			}
+			r, ok := byCase[kase][1]
+			if !ok || base[key] == 0 || baseMutex == 0 {
+				continue
+			}
+			got := r.nsPerOp / mutex1.nsPerOp
+			want := base[key] / baseMutex * *slack
+			if got > want {
+				fail("%s/mutex ns ratio %.2f exceeds baseline %.2f x slack %.2f", kase, got, base[key]/baseMutex, *slack)
+			} else {
+				fmt.Printf("ok    %s/mutex ns ratio %.2f within baseline %.2f x slack %.2f\n", kase, got, base[key]/baseMutex, *slack)
+			}
+		}
+	}
+
+	// Rule 3: real-parallelism scaling.
+	if *cores < *scalingCores {
+		fmt.Printf("skip  scaling rule (pipeline <= mutex at GOMAXPROCS 4/8): host has %d real core(s), need >= %d — oversubscribed GOMAXPROCS adds no parallelism\n", *cores, *scalingCores)
+	} else {
+		for _, cpu := range []int{4, 8} {
+			m, okM := byCase["mutex"][cpu]
+			s, okS := byCase["shards-4"][cpu]
+			if !okM || !okS {
+				continue
+			}
+			if s.nsPerOp > m.nsPerOp {
+				fail("shards-4 slower than mutex at GOMAXPROCS=%d on a %d-core host: %.1fms vs %.1fms", cpu, *cores, s.nsPerOp/1e6, m.nsPerOp/1e6)
+			} else {
+				fmt.Printf("ok    shards-4 beats mutex at GOMAXPROCS=%d: %.1fms vs %.1fms\n", cpu, s.nsPerOp/1e6, m.nsPerOp/1e6)
+			}
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all ingest sweep gates passed")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(2)
+}

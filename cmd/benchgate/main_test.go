@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleSweep = `goos: linux
+goarch: amd64
+pkg: tlsfof
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIngestPipeline/mutex           	      10	  26581221 ns/op	   3762077 meas/sec	15461721 B/op	     139 allocs/op
+BenchmarkIngestPipeline/mutex-4         	      10	  27122254 ns/op	   3687031 meas/sec	15462347 B/op	     142 allocs/op
+BenchmarkIngestPipeline/shards-1        	      10	  36724672 ns/op	   2722983 meas/sec	20760457 B/op	     308 allocs/op
+BenchmarkIngestPipeline/shards-4        	      10	  61724480 ns/op	   1620109 meas/sec	23927726 B/op	     656 allocs/op
+BenchmarkIngestPipeline/shards-4-8      	      10	  74660833 ns/op	   1339395 meas/sec	25585574 B/op	     689 allocs/op
+BenchmarkIngestPipeline/shards-8-2      	      10	  68688884 ns/op	   1455845 meas/sec	28500417 B/op	     930 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.txt")
+	if err := os.WriteFile(path, []byte(sampleSweep), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	results, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(results))
+	}
+	want := []struct {
+		kase   string
+		cpu    int
+		ns     float64
+		allocs float64
+	}{
+		{"mutex", 1, 26581221, 139},
+		{"mutex", 4, 27122254, 142},
+		{"shards-1", 1, 36724672, 308},
+		{"shards-4", 1, 61724480, 656},
+		{"shards-4", 8, 74660833, 689},
+		{"shards-8", 2, 68688884, 930},
+	}
+	for i, w := range want {
+		r := results[i]
+		if r.kase != w.kase || r.cpu != w.cpu || r.nsPerOp != w.ns || r.allocsOp != w.allocs {
+			t.Errorf("result %d = %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+func TestSplitCase(t *testing.T) {
+	cases := []struct {
+		in   string
+		kase string
+		cpu  int
+	}{
+		{"mutex", "mutex", 1},
+		{"mutex-8", "mutex", 8},
+		{"shards-4", "shards-4", 1},       // the -4 is the case name, not a cpu suffix
+		{"shards-4-4", "shards-4", 4},     // both
+		{"shards-8-16", "shards-8", 16},
+		{"unknown-2", "", 0},
+	}
+	for _, c := range cases {
+		kase, cpu := splitCase(c.in)
+		if kase != c.kase || cpu != c.cpu {
+			t.Errorf("splitCase(%q) = (%q, %d), want (%q, %d)", c.in, kase, cpu, c.kase, c.cpu)
+		}
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	body := `{"results": {"mutex_store": {"ns_per_op": 100}, "pipeline_shards_4": {"ns_per_op": 250, "allocs_per_op": 3600}}}`
+	if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["mutex_store"] != 100 || base["pipeline_shards_4"] != 250 {
+		t.Fatalf("baseline = %v", base)
+	}
+}

@@ -71,6 +71,7 @@ type serverConfig struct {
 	shards        int
 	batch         int
 	queue         int
+	walGroup      int
 	obsCache      int
 	dataDir       string
 	snapshotEvery time.Duration
@@ -173,11 +174,12 @@ func newServer(cfg serverConfig) (*server, error) {
 		sink = node
 	} else {
 		pcfg := ingest.Config{
-			Shards:     cfg.shards,
-			BatchSize:  cfg.batch,
-			QueueDepth: cfg.queue,
-			Block:      true, // reports are precious: backpressure, never drop
-			Tracer:     tracer,
+			Shards:      cfg.shards,
+			BatchSize:   cfg.batch,
+			QueueDepth:  cfg.queue,
+			Block:       true, // reports are precious: backpressure, never drop
+			GroupCommit: cfg.walGroup,
+			Tracer:      tracer,
 		}
 		if cfg.dataDir != "" {
 			pcfg.WALDir = cfg.dataDir
@@ -488,6 +490,7 @@ func main() {
 		shards    = flag.Int("shards", 4, "ingest pipeline shards (1 = single store)")
 		batch     = flag.Int("batch", ingest.DefaultBatchSize, "ingest pipeline batch size")
 		queue     = flag.Int("queue", 64, "per-shard queue depth in batches")
+		walGroup  = flag.Int("wal-group", 0, "max queued batches folded into one WAL append/fsync per shard (0 = default 32; 1 disables group commit)")
 		obsCache  = flag.Int("obs-cache", chaincache.DefaultCap, "observation cache capacity in distinct (host, chain) pairs (0 disables)")
 		dataDir   = flag.String("data-dir", "", "durable per-shard WAL + snapshot directory (recovered on boot; graceful shutdown snapshots)")
 		snapEvery = flag.Duration("snapshot-every", 0, "checkpoint the WALs on this cadence (e.g. 5m; 0 = only at shutdown; with -data-dir)")
@@ -559,6 +562,7 @@ func main() {
 		shards:        *shards,
 		batch:         *batch,
 		queue:         *queue,
+		walGroup:      *walGroup,
 		obsCache:      *obsCache,
 		dataDir:       *dataDir,
 		snapshotEvery: *snapEvery,

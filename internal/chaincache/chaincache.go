@@ -81,9 +81,13 @@ type shard[V any] struct {
 }
 
 // entry stores the full derivation input alongside the value: hits verify
-// against it byte-for-byte. The stored chains reference the caller's
-// slices (the observed-chain arena is immutable once parsed; the
-// authoritative chain is the collector's registered slice).
+// against it byte-for-byte. The authoritative chain is stored by
+// reference (the collector's registered slice, stable for the process
+// lifetime, which is also what keeps the pointer fast path in
+// chainsEqual hot). The observed chain is the cache's own copy, cloned
+// once on the miss path — callers may hand obs slices backed by
+// recycled decode arenas, and a stored reference would silently change
+// bytes under the key when the arena is reused.
 type entry[V any] struct {
 	hash uint64
 	host string
@@ -168,13 +172,33 @@ func (cl *call[V]) matches(host string, auth, obs [][]byte) bool {
 	return cl.host == host && chainsEqual(cl.auth, auth) && chainsEqual(cl.obs, obs)
 }
 
+// cloneChain deep-copies a chain into one backing allocation. The miss
+// path pays this once per distinct observed chain (tiny cardinality);
+// every hit and every waiter then compares against bytes the cache
+// owns, immune to caller-side buffer reuse.
+func cloneChain(chain [][]byte) [][]byte {
+	total := 0
+	for _, der := range chain {
+		total += len(der)
+	}
+	back := make([]byte, 0, total)
+	out := make([][]byte, len(chain))
+	for i, der := range chain {
+		back = append(back, der...)
+		out[i] = back[len(back)-len(der) : len(back) : len(back)]
+	}
+	return out
+}
+
 // GetOrDerive returns the cached value for the input triple, or runs
 // derive exactly once per distinct input across concurrent callers and
 // caches its result. Errors are not cached: the next miss retries.
 //
-// The cache retains references to host, auth, and obs when it inserts;
-// callers must treat chains handed to the cache as immutable (both the
-// collector's registered chains and parsed wire chains are).
+// The cache retains host and auth by reference when it inserts: auth
+// must be the collector's registered chain (stable, immutable). The
+// observed chain is cloned on insert, so obs only needs to stay valid
+// for the duration of the call — decode-arena slices that are recycled
+// after the batch is applied are fine.
 func (c *Cache[V]) GetOrDerive(host string, auth, obs [][]byte, derive func() (V, error)) (V, error) {
 	hash := c.hashInputs(host, auth, obs)
 	sh := &c.shards[hash%uint64(len(c.shards))]
@@ -206,7 +230,10 @@ func (c *Cache[V]) GetOrDerive(host string, auth, obs [][]byte, derive func() (V
 		c.derives.Add(1)
 		return derive()
 	}
-	cl := &call[V]{done: make(chan struct{}), host: host, auth: auth, obs: obs}
+	// The clone happens before the call is published: waiters may read
+	// cl.obs after this leader's caller has already recycled its decode
+	// buffers, and the inserted entry reuses the same cloned chain.
+	cl := &call[V]{done: make(chan struct{}), host: host, auth: auth, obs: cloneChain(obs)}
 	sh.inflight[hash] = cl
 	sh.mu.Unlock()
 	c.misses.Add(1)
@@ -221,7 +248,7 @@ func (c *Cache[V]) GetOrDerive(host string, auth, obs [][]byte, derive func() (V
 	var inserted *list.Element
 	if cl.err == nil {
 		if _, ok := sh.entries[hash]; !ok {
-			inserted = sh.lru.PushFront(&entry[V]{hash: hash, host: host, auth: auth, obs: obs, val: cl.val})
+			inserted = sh.lru.PushFront(&entry[V]{hash: hash, host: host, auth: auth, obs: cl.obs, val: cl.val})
 			sh.entries[hash] = inserted
 			c.size.Add(1)
 		}

@@ -83,12 +83,59 @@ func AppendMeasurement(dst []byte, m Measurement) []byte {
 	return dst
 }
 
+// Interner deduplicates decoded strings. Measurement string fields are
+// extremely low-cardinality (a handful of hosts, countries, issuer
+// organizations, product names repeated across millions of records), so
+// replay paths that decode record streams — WAL recovery, snapshot
+// loads, compaction — otherwise allocate seven unique strings per
+// record that are almost always byte-for-byte duplicates. The map is
+// bounded: once max distinct strings are cached, further misses decode
+// uncached rather than grow without bound on hostile input. Not safe
+// for concurrent use; make one per decode stream.
+type Interner struct {
+	m   map[string]string
+	max int
+}
+
+// NewInterner returns an interner caching up to max distinct strings
+// (4096 when max <= 0).
+func NewInterner(max int) *Interner {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Interner{m: make(map[string]string), max: max}
+}
+
+// InternBytes returns a string equal to b, reusing a previously
+// interned instance when one exists. The hit path does not allocate
+// (map lookup on string(b) compiles to a no-copy probe); nil receivers
+// degrade to a plain copy.
+func (in *Interner) InternBytes(b []byte) string {
+	if in == nil {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(in.m) < in.max {
+		in.m[s] = s
+	}
+	return s
+}
+
 // DecodeMeasurement decodes one measurement from the front of b and
 // returns it with the unconsumed remainder. Times decode in UTC (the
 // encoding keeps wall-clock nanoseconds only), which every consumer —
 // table aggregation, the canonical merge order, CSV export — already
 // normalizes to.
 func DecodeMeasurement(b []byte) (Measurement, []byte, error) {
+	return DecodeMeasurementInterned(b, nil)
+}
+
+// DecodeMeasurementInterned is DecodeMeasurement with every string field
+// routed through in (which may be nil): the replay fast path.
+func DecodeMeasurementInterned(b []byte, in *Interner) (Measurement, []byte, error) {
 	var m Measurement
 	nanos, b, err := readVarint(b, "time")
 	if err != nil {
@@ -103,10 +150,10 @@ func DecodeMeasurement(b []byte) (Measurement, []byte, error) {
 		return m, nil, fmt.Errorf("core: codec: client ip %d overflows uint32", ip)
 	}
 	m.ClientIP = uint32(ip)
-	if m.Country, b, err = readString(b, "country"); err != nil {
+	if m.Country, b, err = readString(b, "country", in); err != nil {
 		return m, nil, err
 	}
-	if m.Host, b, err = readString(b, "host"); err != nil {
+	if m.Host, b, err = readString(b, "host", in); err != nil {
 		return m, nil, err
 	}
 	hc, b, err := readUvarint(b, "host category")
@@ -114,7 +161,7 @@ func DecodeMeasurement(b []byte) (Measurement, []byte, error) {
 		return m, nil, err
 	}
 	m.HostCategory = hostdb.Category(hc)
-	if m.Campaign, b, err = readString(b, "campaign"); err != nil {
+	if m.Campaign, b, err = readString(b, "campaign", in); err != nil {
 		return m, nil, err
 	}
 
@@ -132,13 +179,13 @@ func DecodeMeasurement(b []byte) (Measurement, []byte, error) {
 	o.IssuerCopied = flags&flagIssuerCopied != 0
 	o.SubjectDrift = flags&flagSubjectDrift != 0
 
-	if o.IssuerOrg, b, err = readString(b, "issuer org"); err != nil {
+	if o.IssuerOrg, b, err = readString(b, "issuer org", in); err != nil {
 		return m, nil, err
 	}
-	if o.IssuerCN, b, err = readString(b, "issuer cn"); err != nil {
+	if o.IssuerCN, b, err = readString(b, "issuer cn", in); err != nil {
 		return m, nil, err
 	}
-	if o.IssuerOU, b, err = readString(b, "issuer ou"); err != nil {
+	if o.IssuerOU, b, err = readString(b, "issuer ou", in); err != nil {
 		return m, nil, err
 	}
 	var v uint64
@@ -162,7 +209,7 @@ func DecodeMeasurement(b []byte) (Measurement, []byte, error) {
 		return m, nil, err
 	}
 	o.Category = classify.Category(v)
-	if o.ProductName, b, err = readString(b, "product"); err != nil {
+	if o.ProductName, b, err = readString(b, "product", in); err != nil {
 		return m, nil, err
 	}
 	return m, b, nil
@@ -189,7 +236,7 @@ func readVarint(b []byte, field string) (int64, []byte, error) {
 	return v, b[n:], nil
 }
 
-func readString(b []byte, field string) (string, []byte, error) {
+func readString(b []byte, field string, in *Interner) (string, []byte, error) {
 	n, b, err := readUvarint(b, field)
 	if err != nil {
 		return "", nil, err
@@ -200,5 +247,5 @@ func readString(b []byte, field string) (string, []byte, error) {
 	if uint64(len(b)) < n {
 		return "", nil, fmt.Errorf("core: codec: truncated %s", field)
 	}
-	return string(b[:n]), b[n:], nil
+	return in.InternBytes(b[:n]), b[n:], nil
 }

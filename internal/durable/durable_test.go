@@ -335,7 +335,9 @@ func TestRecoverEmptyOrMissingDir(t *testing.T) {
 }
 
 func TestSyncEachAppendAndBackgroundSyncer(t *testing.T) {
-	// SyncEachAppend: every append fsyncs.
+	// SyncEachAppend: every Append* call fsyncs before returning — one
+	// fsync per call, however many frames the call carries (batch and
+	// group appends are single commit units).
 	dir := t.TempDir()
 	opt := testOptions(dir)
 	opt.SyncEachAppend = true
@@ -344,13 +346,38 @@ func TestSyncEachAppendAndBackgroundSyncer(t *testing.T) {
 		t.Fatal(err)
 	}
 	ms := syntheticMeasurements(10, 6)
-	if err := l.AppendBatch(ms); err != nil {
-		t.Fatal(err)
+	for _, m := range ms {
+		if err := l.Append(m); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if st := l.Stats(); st.Fsyncs < 10 {
 		t.Fatalf("SyncEachAppend made %d fsyncs, want >= 10", st.Fsyncs)
 	}
 	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Group commit: one fsync for a whole multi-batch group (large
+	// segments so no rotation-driven fsync muddies the count).
+	gdir := t.TempDir()
+	gl, err := Open(Options{Dir: gdir, SyncEachAppend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preGroup := gl.Stats().Fsyncs
+	group := syntheticMeasurements(30, 7)
+	if err := gl.AppendGroup([][]core.Measurement{group[:10], group[10:20], group[20:]}); err != nil {
+		t.Fatal(err)
+	}
+	st := gl.Stats()
+	if got := st.Fsyncs - preGroup; got != 1 {
+		t.Fatalf("group commit made %d fsyncs, want 1", got)
+	}
+	if st.GroupAppends != 1 || st.GroupedBatches != 3 {
+		t.Fatalf("group stats = %d appends / %d batches, want 1/3", st.GroupAppends, st.GroupedBatches)
+	}
+	if err := gl.Close(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -66,6 +66,10 @@ func recoverDir(opt Options) (*store.DB, Info, []segmentRef, error) {
 	}
 	var complete []segmentRef
 	next := covered + 1
+	// Replayed strings are massively duplicated (few hosts, countries,
+	// issuers across millions of frames); one interner per recovery
+	// collapses them.
+	intern := core.NewInterner(0)
 	for _, seg := range segs {
 		if seg.first > next {
 			info.DroppedTail = true
@@ -76,7 +80,7 @@ func recoverDir(opt Options) (*store.DB, Info, []segmentRef, error) {
 			if seq < next {
 				return nil // already in the snapshot
 			}
-			m, rest, err := core.DecodeMeasurement(payload)
+			m, rest, err := core.DecodeMeasurementInterned(payload, intern)
 			if err != nil {
 				return fmt.Errorf("durable: frame %d: %w", seq, err)
 			}
@@ -191,6 +195,7 @@ func (l *Log) Compact() (Info, error) {
 	}
 
 	next := snapSeq + 1
+	intern := core.NewInterner(0)
 	for _, seg := range sealed {
 		if seg.first > next {
 			return info, fmt.Errorf("durable: compact: gap before %s (expected seq %d)", seg.path, next)
@@ -199,7 +204,7 @@ func (l *Log) Compact() (Info, error) {
 			if seq < next {
 				return nil
 			}
-			m, rest, err := core.DecodeMeasurement(payload)
+			m, rest, err := core.DecodeMeasurementInterned(payload, intern)
 			if err != nil || len(rest) != 0 {
 				return fmt.Errorf("durable: compact: frame %d undecodable", seq)
 			}

@@ -88,7 +88,12 @@ type Stats struct {
 	SnapshotBytes   int64  `json:"snapshot_bytes"`
 	AppendedFrames  uint64 `json:"appended_frames"`
 	AppendedBytes   uint64 `json:"appended_bytes"`
-	Fsyncs          uint64 `json:"fsyncs"`
+	// GroupAppends counts AppendGroup calls that framed at least one
+	// batch; GroupedBatches counts the batches they covered, so
+	// GroupedBatches/GroupAppends is the achieved commit-group size.
+	GroupAppends   uint64 `json:"group_appends,omitempty"`
+	GroupedBatches uint64 `json:"grouped_batches,omitempty"`
+	Fsyncs         uint64 `json:"fsyncs"`
 	Rotations       uint64 `json:"rotations"`
 	Compactions     uint64 `json:"compactions"`
 	RepairedBytes   int64  `json:"repaired_bytes,omitempty"`
@@ -267,22 +272,63 @@ func (l *Log) newSegmentLocked() error {
 func (l *Log) Append(m core.Measurement) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.appendLocked(m)
-}
-
-// AppendBatch writes a batch under one lock acquisition.
-func (l *Log) AppendBatch(ms []core.Measurement) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for _, m := range ms {
-		if err := l.appendLocked(m); err != nil {
-			return err
-		}
+	if err := l.appendFrameLocked(m); err != nil {
+		return err
+	}
+	if l.opt.SyncEachAppend {
+		return l.syncLocked()
 	}
 	return nil
 }
 
-func (l *Log) appendLocked(m core.Measurement) error {
+// AppendBatch writes a batch under one lock acquisition. Under
+// SyncEachAppend the whole batch commits with a single fsync — the
+// durability unit is the Append* call, not the frame.
+func (l *Log) AppendBatch(ms []core.Measurement) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, m := range ms {
+		if err := l.appendFrameLocked(m); err != nil {
+			return err
+		}
+	}
+	if l.opt.SyncEachAppend {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// AppendGroup is group commit: every batch is framed under one lock
+// acquisition and, under SyncEachAppend, made durable by one fsync for
+// the whole group. The ingest shard workers use it to amortize WAL cost
+// across a queue backlog; an error leaves a prefix of the group framed
+// (exactly as a mid-batch AppendBatch error would).
+func (l *Log) AppendGroup(batches [][]core.Measurement) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	framed := 0
+	for _, ms := range batches {
+		for _, m := range ms {
+			if err := l.appendFrameLocked(m); err != nil {
+				return err
+			}
+		}
+		framed++
+	}
+	if framed > 0 {
+		l.stats.GroupAppends++
+		l.stats.GroupedBatches += uint64(framed)
+	}
+	if l.opt.SyncEachAppend {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// appendFrameLocked encodes and buffers one frame plus its bookkeeping
+// and size-triggered rotation; fsync policy is the caller's (the Append*
+// entry points sync once per call under SyncEachAppend).
+func (l *Log) appendFrameLocked(m core.Measurement) error {
 	if l.closed {
 		return fmt.Errorf("durable: append on closed log")
 	}
@@ -298,13 +344,25 @@ func (l *Log) appendLocked(m core.Measurement) error {
 	if _, err := l.w.Write(l.scratch); err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
-	return l.appendedLocked(int64(len(l.scratch)))
+	return l.appendedFrameLocked(int64(len(l.scratch)))
 }
 
-// appendedLocked does the post-write bookkeeping shared by appendLocked
-// and AppendEncoded: frameBytes is the full on-disk frame size (header
-// plus payload) just written to the buffered writer.
+// appendedLocked is appendedFrameLocked plus the per-call fsync policy;
+// AppendEncoded (replication followers) still commits per frame.
 func (l *Log) appendedLocked(frameBytes int64) error {
+	if err := l.appendedFrameLocked(frameBytes); err != nil {
+		return err
+	}
+	if l.opt.SyncEachAppend {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// appendedFrameLocked is the fsync-free post-write bookkeeping:
+// frameBytes is the full on-disk frame size (header plus payload) just
+// written to the buffered writer.
+func (l *Log) appendedFrameLocked(frameBytes int64) error {
 	l.active.last = l.nextSeq
 	l.active.bytes += frameBytes
 	l.nextSeq++
@@ -315,9 +373,6 @@ func (l *Log) appendedLocked(frameBytes int64) error {
 		if err := l.rotateLocked(); err != nil {
 			return err
 		}
-	}
-	if l.opt.SyncEachAppend {
-		return l.syncLocked()
 	}
 	return nil
 }

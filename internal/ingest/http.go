@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"tlsfof/internal/core"
@@ -15,6 +16,40 @@ import (
 // maxBatchBytes bounds one /ingest/batch request body. At ~1-4 KiB per
 // framed report this admits tens of thousands of reports per request.
 const maxBatchBytes = 32 << 20
+
+// decodeState is the per-request working set the batch handlers recycle:
+// an arena-bound streaming decoder plus (for the routed handler) the
+// accumulated report slice. The arena is reset when the state returns to
+// the pool — the request's measurements are fully applied by then, and
+// anything with a longer lifetime (interned hosts, chaincache entries)
+// owns its own bytes.
+type decodeState struct {
+	arena   *Arena
+	dec     *Decoder
+	reports []Report
+}
+
+var decodePool = sync.Pool{New: func() any {
+	a := NewArena()
+	return &decodeState{arena: a, dec: NewArenaDecoder(nil, a)}
+}}
+
+// getDecodeState arms a pooled state for one request body.
+func getDecodeState(body io.Reader) *decodeState {
+	st := decodePool.Get().(*decodeState)
+	st.dec.Reset(body)
+	return st
+}
+
+// putDecodeState retires the request's decode memory: arena slices
+// become invalid here, which is safe because every report was either
+// ingested (copied into measurements) or abandoned with the request.
+func (st *decodeState) put() {
+	st.arena.Reset()
+	clear(st.reports)
+	st.reports = st.reports[:0]
+	decodePool.Put(st)
+}
 
 // BatchResult is the JSON body BatchHandler returns: how many reports the
 // collector accepted and how many it rejected (unknown host, unparsable
@@ -53,7 +88,9 @@ func BatchHandler(col *core.Collector) http.Handler {
 		// upload surfaces as 413 instead of masquerading as stream
 		// corruption — or worse, as a clean EOF that drops the tail.
 		body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
-		dec := NewDecoder(body)
+		st := getDecodeState(body)
+		defer st.put()
+		dec := st.dec
 		tracer := col.Tracer
 		var res BatchResult
 		status := http.StatusOK

@@ -63,16 +63,31 @@ func (a SinkAdapter) IngestBatch(batch []core.Measurement) {
 // cache-resident.
 const DefaultBatchSize = 256
 
+// ownedBatchSink is the recycling fast path a BatchSink may offer:
+// takeBatch mints a buffer the sink owns, and ingestOwnedBatch delivers
+// it with permission to recycle. Pipeline implements it; Batcher probes
+// for it so the Batcher→Pipeline seam runs entirely on pooled frames.
+type ownedBatchSink interface {
+	takeBatch(capHint int) []core.Measurement
+	ingestOwnedBatch([]core.Measurement)
+}
+
 // Batcher is a core.Sink that accumulates measurements and forwards
 // size-limited batches to a BatchSink. It is safe for concurrent use, but
 // peak throughput comes from one Batcher per producer goroutine (no lock
 // contention); the downstream BatchSink serializes as needed.
 //
+// When the sink is a Pipeline (or anything else implementing the
+// unexported recycling interface), batch buffers are drawn from and
+// returned to the sink's frame pool; for any other sink each batch is a
+// fresh allocation, because generic sinks may retain the slice.
+//
 // Call Flush (or Close) after the final Ingest — a partial batch otherwise
 // stays buffered.
 type Batcher struct {
-	sink BatchSink
-	size int
+	sink  BatchSink
+	owned ownedBatchSink // non-nil when sink recycles frames
+	size  int
 
 	mu  sync.Mutex
 	buf []core.Measurement
@@ -84,7 +99,31 @@ func NewBatcher(sink BatchSink, size int) *Batcher {
 	if size <= 0 {
 		size = DefaultBatchSize
 	}
-	return &Batcher{sink: sink, size: size, buf: make([]core.Measurement, 0, size)}
+	b := &Batcher{sink: sink, size: size}
+	if os, ok := sink.(ownedBatchSink); ok {
+		b.owned = os
+		b.buf = os.takeBatch(size)
+	} else {
+		b.buf = make([]core.Measurement, 0, size)
+	}
+	return b
+}
+
+// nextBuf replaces the full/flushed buffer under b.mu.
+func (b *Batcher) nextBuf() []core.Measurement {
+	if b.owned != nil {
+		return b.owned.takeBatch(b.size)
+	}
+	return make([]core.Measurement, 0, b.size)
+}
+
+// forward delivers a completed batch outside b.mu.
+func (b *Batcher) forward(batch []core.Measurement) {
+	if b.owned != nil {
+		b.owned.ingestOwnedBatch(batch)
+		return
+	}
+	b.sink.IngestBatch(batch)
 }
 
 // Ingest buffers m, forwarding a full batch downstream when the buffer
@@ -97,9 +136,9 @@ func (b *Batcher) Ingest(m core.Measurement) {
 		return
 	}
 	batch := b.buf
-	b.buf = make([]core.Measurement, 0, b.size)
+	b.buf = b.nextBuf()
 	b.mu.Unlock()
-	b.sink.IngestBatch(batch)
+	b.forward(batch)
 }
 
 // Flush forwards any buffered partial batch downstream.
@@ -110,7 +149,7 @@ func (b *Batcher) Flush() {
 		return
 	}
 	batch := b.buf
-	b.buf = make([]core.Measurement, 0, b.size)
+	b.buf = b.nextBuf()
 	b.mu.Unlock()
-	b.sink.IngestBatch(batch)
+	b.forward(batch)
 }

@@ -1,0 +1,125 @@
+package ingest
+
+// Allocation pins for the pooled ingest hot paths. The tentpole fix
+// exists to take the sharded pipeline's per-op allocations from
+// hundreds (fresh sub-batch slices, channel garbage, per-cert decode
+// copies) to near zero; these tests keep that property from rotting.
+// All pins skip under -race: the race runtime instruments allocations
+// and the counts stop meaning anything.
+
+import (
+	"bytes"
+	"testing"
+
+	"tlsfof/internal/core"
+	"tlsfof/internal/raceflag"
+)
+
+// TestSplitAllocs pins the IngestBatch shard split: two passes over
+// pooled scratch plus pooled sub-batch frames. The pre-fix split
+// allocated the index slice, the per-shard counts, and every sub-batch
+// on every call (8+ allocs/op at 4 shards); a split served entirely
+// from the freelist allocates nothing. The freelist is pre-stocked so
+// the pin measures the split path itself, not whether this machine's
+// scheduler let the shard workers recycle frames fast enough.
+func TestSplitAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	p := NewPipeline(Config{Shards: 4, QueueDepth: 256, Block: true, Sinks: func(int) BatchSink {
+		return BatchSinkFunc(func([]core.Measurement) {})
+	}})
+	defer p.Close()
+	batch := walTestMeasurements(64)
+	for i := 0; i < 1000; i++ {
+		p.pool.put(make([]core.Measurement, 0, len(batch)))
+	}
+	for i := 0; i < 10; i++ { // warm the split scratch
+		p.IngestBatch(batch)
+	}
+	p.Drain()
+	allocs := testing.AllocsPerRun(200, func() {
+		p.IngestBatch(batch)
+	})
+	p.Drain()
+	if allocs > 0.5 {
+		t.Fatalf("IngestBatch split allocates %.2f/op, want ~0 (pooled scratch + frames)", allocs)
+	}
+}
+
+// TestIngestAllocs pins the one-measurement Sink face: appending into a
+// pooled pending frame and publishing a full frame on the ring is
+// allocation-free in steady state.
+func TestIngestAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	p := NewPipeline(Config{Shards: 1, BatchSize: 8, QueueDepth: 256, Block: true, Sinks: func(int) BatchSink {
+		return BatchSinkFunc(func([]core.Measurement) {})
+	}})
+	defer p.Close()
+	m := walTestMeasurements(1)[0]
+	for i := 0; i < 300; i++ { // pre-stock pending frames (see TestSplitAllocs)
+		p.pool.put(make([]core.Measurement, 0, 8))
+	}
+	for i := 0; i < 400; i++ {
+		p.Ingest(m)
+	}
+	p.Drain()
+	allocs := testing.AllocsPerRun(800, func() {
+		p.Ingest(m)
+	})
+	p.Drain()
+	if allocs > 0.25 {
+		t.Fatalf("Ingest allocates %.2f/op, want ~0 (pooled pending frames)", allocs)
+	}
+}
+
+// TestArenaDecodeAllocs pins decode-in-place: on a warm arena (blocks
+// grown, hosts interned) decoding a whole wire stream performs zero
+// heap allocations — DER bytes and chain headers carve out of recycled
+// blocks, host names hit the intern table, and the decoder's buffers
+// rearm via Reset. The plain decoder costs ~3 allocs per report (host
+// string, chain header, DER copy); this is the per-request delta the
+// pooled HTTP handlers bank on.
+func TestArenaDecodeAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	reports := make([]Report, 0, 32)
+	for i := 0; i < 32; i++ {
+		reports = append(reports, Report{
+			Host:     []string{"a.example", "b.example"}[i%2],
+			ChainDER: [][]byte{bytes.Repeat([]byte{0x30}, 700), bytes.Repeat([]byte{0x31}, 900)},
+			Trace:    uint64(i),
+		})
+	}
+	stream, err := EncodeReports(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := bytes.NewReader(stream)
+	a := NewArena()
+	dec := NewArenaDecoder(r, a)
+	decodeAll := func() {
+		r.Reset(stream)
+		dec.Reset(r)
+		n := 0
+		for {
+			if _, err := dec.Next(); err != nil {
+				break
+			}
+			n++
+		}
+		if n != len(reports) {
+			t.Fatalf("decoded %d reports, want %d", n, len(reports))
+		}
+		a.Reset()
+	}
+	decodeAll() // warm: grow arena blocks, intern hosts
+	allocs := testing.AllocsPerRun(100, decodeAll)
+	if allocs > 0 {
+		t.Fatalf("warm arena decode allocates %.2f per %d-report stream, want 0", allocs, len(reports))
+	}
+}

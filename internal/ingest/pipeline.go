@@ -36,8 +36,12 @@ type Config struct {
 	// BatchSize bounds batches built by the pipeline's own Sink face
 	// (DefaultBatchSize when <= 0).
 	BatchSize int
-	// QueueDepth is the per-shard bounded-channel capacity in batches
-	// (default 64).
+	// QueueDepth is the per-shard bounded-ring capacity in batches
+	// (default 32 — one full commit group; at the default batch size
+	// that is 8k measurements of buffering per shard). Depth is exact:
+	// the ring admits precisely this many batches before blocking or
+	// dropping. Every queued batch pins a pooled frame, so depth is also
+	// the per-shard bound on a fresh pipeline's cold-start frame mints.
 	QueueDepth int
 	// Retain is the per-shard retained-proxied-record cap passed to each
 	// shard store (<= 0 unlimited). A per-shard cap bounds memory but
@@ -70,6 +74,13 @@ type Config struct {
 	WALSegmentBytes   int64
 	WALSyncEvery      time.Duration
 	WALSyncEachAppend bool
+
+	// GroupCommit caps how many queued batches one shard worker folds
+	// into a single WAL append (one lock acquisition, one fsync under
+	// WALSyncEachAppend) when its ring has a backlog (default 32; 1
+	// disables grouping). Grouping only ever combines batches that were
+	// already queued, so it adds no latency to an idle shard.
+	GroupCommit int
 
 	// Tracer, when non-nil, records shard_queue / wal_append /
 	// store_merge stage latencies per batch and keeps per-probe traces
@@ -107,7 +118,9 @@ type ShardStats struct {
 	WALErrors uint64
 }
 
-// Stats is a point-in-time snapshot of pipeline accounting.
+// Stats is a point-in-time snapshot of pipeline accounting. Snapshots
+// are coherent in one direction: Ingested <= Enqueued holds in every
+// snapshot, even one taken mid-enqueue (see shard counter ordering).
 type Stats struct {
 	Shards []ShardStats
 	// Enqueued, Ingested, Dropped, WALErrors are sums over shards.
@@ -117,27 +130,100 @@ type Stats struct {
 	WALErrors uint64
 }
 
-// shardBatch is one queued batch plus the timestamp it joined the queue
-// (zero when no tracer is mounted — the clock is only read for telemetry).
-type shardBatch struct {
-	ms         []core.Measurement
-	enqueuedAt time.Time
-}
-
+// shard is one ingest partition. Counter protocol: a producer adds to
+// offered BEFORE the batch is published on the ring, so by the time a
+// worker (or a concurrent Drain) can observe the batch, it is already
+// counted — the pre-fix code counted after the channel send, and a
+// Drain racing the send could capture a target that excluded an
+// already-queued batch. A batch then resolves exactly once: into
+// ingested (delivered to the sink) or into dropped (lossy mode, ring
+// full — never published, and under a WAL never appended). Readers
+// derive Enqueued = offered - dropped, loading ingested before dropped
+// before offered so every snapshot satisfies Ingested <= Enqueued.
 type shard struct {
 	sink BatchSink
 	db   *store.DB    // nil when Config.Sinks overrides
 	wal  *durable.Log // nil without Config.WALDir
-	ch   chan shardBatch
+	q    *batchRing
 
 	mu      sync.Mutex
 	pending []core.Measurement
 
-	enqueued atomic.Uint64
+	offered  atomic.Uint64
 	ingested atomic.Uint64
 	dropped  atomic.Uint64
 	batches  atomic.Uint64
 	walErrs  atomic.Uint64
+
+	// Drain parks on drainCond; the worker only takes drainMu when
+	// drainWaiters says someone is parked, so the no-waiter fast path
+	// is one atomic load per delivered group.
+	drainMu      sync.Mutex
+	drainCond    sync.Cond
+	drainWaiters atomic.Int32
+}
+
+// enqueuedLoad derives the accepted-measurement count with the load
+// ordering documented on shard.
+func (sh *shard) enqueuedLoad() uint64 {
+	dropped := sh.dropped.Load()
+	offered := sh.offered.Load()
+	return offered - dropped
+}
+
+// notifyProgress wakes Drain waiters after counter updates. The
+// drainMu acquisition (empty critical section) orders the broadcast
+// after a racing waiter's condition check: a waiter that registered
+// and re-checked before our counter update will be parked inside Wait
+// by the time we hold the lock, so the broadcast cannot be lost.
+func (sh *shard) notifyProgress() {
+	if sh.drainWaiters.Load() == 0 {
+		return
+	}
+	sh.drainMu.Lock()
+	sh.drainCond.Broadcast()
+	sh.drainMu.Unlock()
+}
+
+// splitScratch is the recycled working set for IngestBatch's two-pass
+// shard split (per-measurement shard index plus per-shard counts and
+// sub-batch headers).
+type splitScratch struct {
+	idx    []uint16
+	counts []int
+	subs   [][]core.Measurement
+}
+
+// scratchPool is a mutex-guarded freelist of split scratch. Like
+// bufPool, a plain freelist beats sync.Pool: the GC empties a sync.Pool
+// every cycle, and a batch-heavy workload GCs often enough that the
+// scratch (and its three grown slices) would be re-minted hundreds of
+// times per benchmark op. Scratch demand is bounded by concurrent
+// IngestBatch callers, so the list stays tiny.
+type scratchPool struct {
+	mu  sync.Mutex
+	scs []*splitScratch
+}
+
+func (p *scratchPool) get() *splitScratch {
+	p.mu.Lock()
+	if n := len(p.scs); n > 0 {
+		sc := p.scs[n-1]
+		p.scs[n-1] = nil
+		p.scs = p.scs[:n-1]
+		p.mu.Unlock()
+		return sc
+	}
+	p.mu.Unlock()
+	return new(splitScratch)
+}
+
+func (p *scratchPool) put(sc *splitScratch) {
+	p.mu.Lock()
+	if len(p.scs) < 64 {
+		p.scs = append(p.scs, sc)
+	}
+	p.mu.Unlock()
 }
 
 // Pipeline is the sharded ingest data plane. It is both a core.Sink (one
@@ -145,11 +231,68 @@ type shard struct {
 // (pre-batched input, split by shard). Producers may call Ingest and
 // IngestBatch concurrently; call Flush to push partial per-shard batches,
 // and Close exactly once after all producers have stopped.
+//
+// Batch frames recycle through an internal freelist: buffers the
+// pipeline itself allocates (pending batches, shard-split sub-batches,
+// Batcher buffers) are returned to the pool after delivery. Slices
+// passed to the public IngestBatch are never recycled — the BatchSink
+// ownership contract notwithstanding, the pipeline cannot know the
+// caller won't reuse them — so external batches cost their own split
+// copies and nothing more.
 type Pipeline struct {
 	cfg    Config
 	shards []*shard
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	pool      bufPool
+	splitPool scratchPool
+}
+
+// bufPool is a mutex-guarded freelist of measurement buffers. A plain
+// freelist beats sync.Pool here: Put would escape the slice header to
+// the heap (one allocation per recycle, the exact cost being removed),
+// and the pipeline wants buffers to survive across GC cycles for the
+// life of the process, not per-GC emptying.
+type bufPool struct {
+	mu   sync.Mutex
+	bufs [][]core.Measurement
+	max  int
+	// minCap floors every minted buffer at the pipeline batch size, so a
+	// recycled frame always fits the next pending batch or sub-batch and
+	// append never regrows it (a small frame would otherwise circulate
+	// through the freelist causing a growth allocation on every reuse).
+	minCap int
+}
+
+func (p *bufPool) get(capHint int) []core.Measurement {
+	p.mu.Lock()
+	if n := len(p.bufs); n > 0 {
+		b := p.bufs[n-1]
+		p.bufs[n-1] = nil
+		p.bufs = p.bufs[:n-1]
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	if capHint < p.minCap {
+		capHint = p.minCap
+	}
+	return make([]core.Measurement, 0, capHint)
+}
+
+func (p *bufPool) put(b []core.Measurement) {
+	if cap(b) == 0 {
+		return
+	}
+	// Clear the full capacity: entries beyond a future len would
+	// otherwise pin Measurement strings from retired batches.
+	clear(b[:cap(b)])
+	p.mu.Lock()
+	if len(p.bufs) < p.max {
+		p.bufs = append(p.bufs, b[:0])
+	}
+	p.mu.Unlock()
 }
 
 // NewPipeline builds the shard stores (or custom sinks), starts one worker
@@ -188,7 +331,10 @@ func openPipeline(cfg Config) (*Pipeline, []durable.Info, error) {
 		cfg.BatchSize = DefaultBatchSize
 	}
 	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 64
+		cfg.QueueDepth = 32
+	}
+	if cfg.GroupCommit <= 0 {
+		cfg.GroupCommit = 32
 	}
 	if cfg.WALDir != "" && cfg.Sinks != nil {
 		return nil, nil, fmt.Errorf("ingest: WALDir is incompatible with a Sinks override")
@@ -200,8 +346,14 @@ func openPipeline(cfg Config) (*Pipeline, []durable.Info, error) {
 		}
 	}
 	p := &Pipeline{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	// Bound the freelist by the most buffers that can be in flight at
+	// once: every ring slot full on every shard, plus pending buffers
+	// and a little slack for buffers between pop and put.
+	p.pool.max = cfg.Shards*(cfg.QueueDepth+4) + 16
+	p.pool.minCap = cfg.BatchSize
 	for i := range p.shards {
-		sh := &shard{ch: make(chan shardBatch, cfg.QueueDepth)}
+		sh := &shard{q: newBatchRing(cfg.QueueDepth)}
+		sh.drainCond.L = &sh.drainMu
 		switch {
 		case cfg.Sinks != nil:
 			sh.sink = cfg.Sinks(i)
@@ -282,43 +434,92 @@ func PinShardManifest(dir string, shards int, node string) error {
 	return nil
 }
 
+// work is the shard consumer: it blocks for one batch, opportunistically
+// drains up to GroupCommit-1 more that are already queued, write-aheads
+// the whole group as one WAL append (one fsync under SyncEachAppend),
+// then delivers each batch to the sink and recycles pipeline-owned
+// frames. Group commit amortizes the WAL lock/fsync across a backlog
+// without delaying an idle shard: a lone batch forms a group of one.
 func (p *Pipeline) work(sh *shard) {
 	defer p.wg.Done()
 	tr := p.cfg.Tracer
-	for qb := range sh.ch {
-		batch := qb.ms
-		if tr != nil && !qb.enqueuedAt.IsZero() {
+	group := make([]queued, 0, p.cfg.GroupCommit)
+	var views [][]core.Measurement
+	if sh.wal != nil {
+		views = make([][]core.Measurement, 0, p.cfg.GroupCommit)
+	}
+	for {
+		it, ok := sh.q.popWait()
+		if !ok {
+			break
+		}
+		group = append(group[:0], it)
+		for len(group) < p.cfg.GroupCommit {
+			nxt, ok := sh.q.tryPop()
+			if !ok {
+				break
+			}
+			group = append(group, nxt)
+		}
+		if tr != nil {
 			// Queue wait is a per-batch stage; traced measurements inside
-			// the batch get a span without multiplying the histogram.
-			wait := time.Since(qb.enqueuedAt)
-			tr.Observe(telemetry.StageQueue, wait)
-			recordBatchSpans(tr, batch, telemetry.StageQueue, qb.enqueuedAt, wait)
+			// a batch get a span without multiplying the histogram.
+			for i := range group {
+				if at := group[i].enqueuedAt; !at.IsZero() {
+					wait := time.Since(at)
+					tr.Observe(telemetry.StageQueue, wait)
+					recordBatchSpans(tr, group[i].ms, telemetry.StageQueue, at, wait)
+				}
+			}
 		}
 		if sh.wal != nil {
-			// Write-ahead: the batch hits the WAL before the store, so
+			// Write-ahead: the group hits the WAL before the store, so
 			// anything visible in a merge/table is also on its way to
 			// disk. Append errors degrade durability, never availability.
+			views = views[:0]
+			for i := range group {
+				views = append(views, group[i].ms)
+			}
 			start := stageStart(tr)
-			err := sh.wal.AppendBatch(batch)
+			err := sh.wal.AppendGroup(views)
 			if tr != nil {
 				d := time.Since(start)
 				tr.Observe(telemetry.StageWAL, d)
-				recordBatchSpans(tr, batch, telemetry.StageWAL, start, d)
+				for i := range group {
+					recordBatchSpans(tr, group[i].ms, telemetry.StageWAL, start, d)
+				}
 			}
 			if err != nil {
-				sh.walErrs.Add(uint64(len(batch)))
+				var n int
+				for i := range group {
+					n += len(group[i].ms)
+				}
+				sh.walErrs.Add(uint64(n))
 			}
 		}
-		start := stageStart(tr)
-		sh.sink.IngestBatch(batch)
-		if tr != nil {
-			d := time.Since(start)
-			tr.Observe(telemetry.StageStore, d)
-			recordBatchSpans(tr, batch, telemetry.StageStore, start, d)
+		for i := range group {
+			batch := group[i].ms
+			start := stageStart(tr)
+			sh.sink.IngestBatch(batch)
+			if tr != nil {
+				d := time.Since(start)
+				tr.Observe(telemetry.StageStore, d)
+				recordBatchSpans(tr, batch, telemetry.StageStore, start, d)
+			}
+			sh.ingested.Add(uint64(len(batch)))
+			sh.batches.Add(1)
+			if group[i].owned {
+				p.pool.put(batch)
+			}
+			group[i] = queued{}
 		}
-		sh.ingested.Add(uint64(len(batch)))
-		sh.batches.Add(1)
+		sh.notifyProgress()
 	}
+	// Wake any waiter parked across worker exit (e.g. Drain racing
+	// Close) so it re-checks instead of sleeping forever.
+	sh.drainMu.Lock()
+	sh.drainCond.Broadcast()
+	sh.drainMu.Unlock()
 }
 
 // stageStart reads the clock only when a tracer will consume it.
@@ -371,42 +572,74 @@ func fnv1a32(s []byte, v uint32) uint32 {
 }
 
 // Ingest implements core.Sink: it appends m to the target shard's pending
-// batch and enqueues the batch once full.
+// batch and enqueues the batch once full. Pending buffers come from and
+// return to the frame pool.
 func (p *Pipeline) Ingest(m core.Measurement) {
 	sh := p.shards[p.shardIndex(m)]
 	sh.mu.Lock()
+	if sh.pending == nil {
+		sh.pending = p.pool.get(p.cfg.BatchSize)
+	}
 	sh.pending = append(sh.pending, m)
 	if len(sh.pending) < p.cfg.BatchSize {
 		sh.mu.Unlock()
 		return
 	}
 	batch := sh.pending
-	sh.pending = make([]core.Measurement, 0, p.cfg.BatchSize)
+	sh.pending = nil
 	sh.mu.Unlock()
-	p.enqueue(sh, batch)
+	p.enqueue(sh, batch, true)
 }
 
 // IngestBatch implements BatchSink: the batch is split by shard and each
 // sub-batch enqueued directly, bypassing the pending buffers. The split is
-// two-pass (count, then fill exact-capacity sub-batches) so the hot path
-// never grows a slice.
+// two-pass (count, then fill exact-length sub-batches) over pooled
+// scratch, so a steady-state split allocates nothing. The input slice is
+// never retained or recycled (see Pipeline doc).
 func (p *Pipeline) IngestBatch(batch []core.Measurement) {
+	p.ingestBatch(batch, false)
+}
+
+// takeBatch hands a pooled buffer to an internal producer (Batcher);
+// the buffer returns to the pool via ingestOwnedBatch delivery.
+func (p *Pipeline) takeBatch(capHint int) []core.Measurement {
+	return p.pool.get(capHint)
+}
+
+// ingestOwnedBatch is IngestBatch for buffers minted by takeBatch: the
+// pipeline recycles them once delivered (or dropped, or split).
+func (p *Pipeline) ingestOwnedBatch(batch []core.Measurement) {
+	p.ingestBatch(batch, true)
+}
+
+func (p *Pipeline) ingestBatch(batch []core.Measurement, owned bool) {
 	ns := len(p.shards)
 	if ns == 1 {
-		p.enqueue(p.shards[0], batch)
+		p.enqueue(p.shards[0], batch, owned)
 		return
 	}
-	idx := make([]uint16, len(batch))
-	counts := make([]int, ns)
+	sc := p.splitPool.get()
+	if cap(sc.idx) < len(batch) {
+		sc.idx = make([]uint16, len(batch))
+	}
+	if cap(sc.counts) < ns {
+		sc.counts = make([]int, ns)
+		sc.subs = make([][]core.Measurement, ns)
+	}
+	idx := sc.idx[:len(batch)]
+	counts := sc.counts[:ns]
+	subs := sc.subs[:ns]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for i, m := range batch {
 		s := p.shardIndex(m)
 		idx[i] = uint16(s)
 		counts[s]++
 	}
-	subs := make([][]core.Measurement, ns)
 	for s, c := range counts {
 		if c > 0 {
-			subs[s] = make([]core.Measurement, 0, c)
+			subs[s] = p.pool.get(c)
 		}
 	}
 	for i, m := range batch {
@@ -415,26 +648,39 @@ func (p *Pipeline) IngestBatch(batch []core.Measurement) {
 	}
 	for s, sub := range subs {
 		if sub != nil {
-			p.enqueue(p.shards[s], sub)
+			p.enqueue(p.shards[s], sub, true)
+			subs[s] = nil
 		}
+	}
+	p.splitPool.put(sc)
+	if owned {
+		p.pool.put(batch)
 	}
 }
 
-func (p *Pipeline) enqueue(sh *shard, batch []core.Measurement) {
+// enqueue publishes a batch on its shard ring. The offered counter is
+// bumped before publication (see shard doc); a lossy drop then moves
+// the batch from offered to dropped, so offered == ingested + dropped
+// once the pipeline quiesces.
+func (p *Pipeline) enqueue(sh *shard, batch []core.Measurement, owned bool) {
 	if len(batch) == 0 {
+		if owned {
+			p.pool.put(batch)
+		}
 		return
 	}
-	qb := shardBatch{ms: batch, enqueuedAt: stageStart(p.cfg.Tracer)}
+	sh.offered.Add(uint64(len(batch)))
+	it := queued{ms: batch, owned: owned, enqueuedAt: stageStart(p.cfg.Tracer)}
 	if p.cfg.Block {
-		sh.ch <- qb
-		sh.enqueued.Add(uint64(len(batch)))
+		sh.q.push(it)
 		return
 	}
-	select {
-	case sh.ch <- qb:
-		sh.enqueued.Add(uint64(len(batch)))
-	default:
+	if !sh.q.tryPush(it) {
 		sh.dropped.Add(uint64(len(batch)))
+		sh.notifyProgress()
+		if owned {
+			p.pool.put(batch)
+		}
 	}
 }
 
@@ -445,24 +691,38 @@ func (p *Pipeline) Flush() {
 		batch := sh.pending
 		sh.pending = nil
 		sh.mu.Unlock()
-		p.enqueue(sh, batch)
+		if batch != nil {
+			p.enqueue(sh, batch, true)
+		}
 	}
 }
 
 // Drain flushes pending batches and blocks until every measurement
-// enqueued before the call has been delivered to its shard sink, so a
-// subsequent Merge sees them. Producers may keep ingesting concurrently;
-// their later measurements are not waited for.
+// enqueued before the call has been delivered to its shard sink (or, in
+// lossy mode, dropped), so a subsequent Merge sees everything that will
+// ever arrive from this point's backlog. Producers may keep ingesting
+// concurrently; their later measurements are not waited for. Waiting is
+// event-driven: the shard worker signals per delivered group, so Drain
+// returns as soon as the last backlog batch lands rather than on a
+// sleep quantum.
 func (p *Pipeline) Drain() {
 	p.Flush()
 	targets := make([]uint64, len(p.shards))
 	for i, sh := range p.shards {
-		targets[i] = sh.enqueued.Load()
+		targets[i] = sh.offered.Load()
 	}
 	for i, sh := range p.shards {
-		for sh.ingested.Load() < targets[i] {
-			time.Sleep(50 * time.Microsecond)
+		target := targets[i]
+		if sh.ingested.Load()+sh.dropped.Load() >= target {
+			continue
 		}
+		sh.drainWaiters.Add(1)
+		sh.drainMu.Lock()
+		for sh.ingested.Load()+sh.dropped.Load() < target {
+			sh.drainCond.Wait()
+		}
+		sh.drainMu.Unlock()
+		sh.drainWaiters.Add(-1)
 	}
 }
 
@@ -477,7 +737,7 @@ func (p *Pipeline) Close() error {
 	}
 	p.Flush()
 	for _, sh := range p.shards {
-		close(sh.ch)
+		sh.q.close()
 	}
 	p.wg.Wait()
 	var first error
@@ -546,7 +806,7 @@ func (p *Pipeline) MountMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("ingest_enqueued_total", "measurements accepted onto shard queues", func() float64 {
 		var n uint64
 		for _, sh := range p.shards {
-			n += sh.enqueued.Load()
+			n += sh.enqueuedLoad()
 		}
 		return float64(n)
 	})
@@ -574,7 +834,7 @@ func (p *Pipeline) MountMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("ingest_queue_depth", "queued batches across shards", func() float64 {
 		var n int
 		for _, sh := range p.shards {
-			n += len(sh.ch)
+			n += sh.q.len()
 		}
 		return float64(n)
 	})
@@ -584,14 +844,19 @@ func (p *Pipeline) MountMetrics(reg *telemetry.Registry) {
 func (p *Pipeline) Stats() Stats {
 	s := Stats{Shards: make([]ShardStats, len(p.shards))}
 	for i, sh := range p.shards {
+		// Load order matters for the Ingested <= Enqueued invariant:
+		// effects before causes (ingested, then dropped, then offered).
+		ingested := sh.ingested.Load()
 		ss := ShardStats{
-			Enqueued:  sh.enqueued.Load(),
-			Ingested:  sh.ingested.Load(),
-			Dropped:   sh.dropped.Load(),
+			Ingested:  ingested,
 			Batches:   sh.batches.Load(),
-			Queue:     len(sh.ch),
+			Queue:     sh.q.len(),
 			WALErrors: sh.walErrs.Load(),
 		}
+		dropped := sh.dropped.Load()
+		offered := sh.offered.Load()
+		ss.Dropped = dropped
+		ss.Enqueued = offered - dropped
 		s.Shards[i] = ss
 		s.Enqueued += ss.Enqueued
 		s.Ingested += ss.Ingested

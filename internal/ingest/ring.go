@@ -1,0 +1,222 @@
+package ingest
+
+import (
+	"sync/atomic"
+	"time"
+
+	"tlsfof/internal/core"
+)
+
+// queued is one ring item: a batch, whether its backing slice came from
+// the pipeline's buffer pool (and so returns there after delivery), and
+// the timestamp it joined the queue (zero when no tracer is mounted —
+// the clock is only read for telemetry).
+type queued struct {
+	ms         []core.Measurement
+	owned      bool
+	enqueuedAt time.Time
+}
+
+// batchRing is the bounded multi-producer single-consumer shard queue: a
+// power-of-two ring of sequence-stamped slots (the Vyukov bounded-queue
+// scheme) with channel-based parking on both sides — a futex-style
+// wakeup in Go terms: the fast path is pure atomics, and a side only
+// touches its parking channel after announcing itself parked and
+// re-checking, so no wakeup is ever lost.
+//
+// Compared to the buffered channel it replaces, a push or pop on the
+// uncontended fast path is a handful of atomic ops with no runtime lock,
+// no sudog allocation, and no scheduler interaction; the consumer can
+// also drain opportunistically (tryPop) to form WAL commit groups, which
+// a channel only offers via select-default per element.
+type batchRing struct {
+	mask  uint64
+	limit uint64 // logical capacity: exactly the configured QueueDepth
+	slots []ringSlot
+
+	tail atomic.Uint64 // next slot producers will reserve
+	head atomic.Uint64 // next slot the consumer will take
+
+	// consumerParked is the consumer's "I am about to sleep" announcement;
+	// producers that observe it post one token to wake. spaceWaiters is
+	// the producer-side equivalent for a full ring under Block semantics.
+	consumerParked atomic.Bool
+	spaceWaiters   atomic.Int32
+	wake           chan struct{}
+	space          chan struct{}
+	closed         atomic.Bool
+}
+
+// ringSlot pairs a sequence stamp with the item. seq == index means the
+// slot is free for the producer of that lap; seq == index+1 means the
+// item is published and consumable.
+type ringSlot struct {
+	seq atomic.Uint64
+	val queued
+}
+
+// newBatchRing builds a ring holding exactly depth items. The slot array
+// is the next power of two (minimum 2 — with one slot a published seq is
+// indistinguishable from free-for-next-lap), and the logical limit keeps
+// QueueDepth semantics exact.
+func newBatchRing(depth int) *batchRing {
+	if depth < 1 {
+		depth = 1
+	}
+	capacity := 2
+	for capacity < depth {
+		capacity <<= 1
+	}
+	r := &batchRing{
+		mask:  uint64(capacity - 1),
+		limit: uint64(depth),
+		slots: make([]ringSlot, capacity),
+		wake:  make(chan struct{}, 1),
+		space: make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush publishes v, reporting false when the ring is full. Pushing on
+// a closed ring panics (the pipeline's producers must stop before Close,
+// exactly as sending on a closed channel did before).
+func (r *batchRing) tryPush(v queued) bool {
+	if r.closed.Load() {
+		panic("ingest: push on closed shard ring")
+	}
+	pos := r.tail.Load()
+	for {
+		// Logical-capacity check: head only advances, so if occupancy is
+		// below limit here and the CAS below wins (tail still == pos),
+		// post-reservation occupancy cannot exceed limit.
+		if pos-r.head.Load() >= r.limit {
+			return false
+		}
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1) // publish
+				r.wakeConsumer()
+				return true
+			}
+			pos = r.tail.Load()
+		case seq < pos:
+			// The slot still holds an item from mask+1 positions ago: full.
+			return false
+		default:
+			// Another producer advanced tail past our stale view.
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// push publishes v, blocking while the ring is full (Block backpressure).
+func (r *batchRing) push(v queued) {
+	for {
+		if r.tryPush(v) {
+			return
+		}
+		r.spaceWaiters.Add(1)
+		// Re-check after announcing: a consumer that freed a slot before
+		// seeing the announcement is caught here; one that freed after
+		// will post a token below.
+		if r.tryPush(v) {
+			r.spaceWaiters.Add(-1)
+			return
+		}
+		<-r.space
+		r.spaceWaiters.Add(-1)
+	}
+}
+
+// tryPop takes the next published item (single consumer only).
+func (r *batchRing) tryPop() (queued, bool) {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	if s.seq.Load() != pos+1 {
+		return queued{}, false
+	}
+	v := s.val
+	s.val = queued{} // drop the batch reference before freeing the slot
+	s.seq.Store(pos + r.mask + 1)
+	r.head.Store(pos + 1)
+	r.signalSpace()
+	return v, true
+}
+
+// popWait blocks until an item is available, returning ok=false only
+// when the ring is closed and fully drained.
+func (r *batchRing) popWait() (queued, bool) {
+	for {
+		if v, ok := r.tryPop(); ok {
+			return v, true
+		}
+		r.consumerParked.Store(true)
+		// Re-check after announcing (the producer-side mirror of push):
+		// a publish that raced the announcement is caught here; one that
+		// lands after it observes the flag and posts a wake token.
+		if v, ok := r.tryPop(); ok {
+			r.consumerParked.Store(false)
+			return v, true
+		}
+		if r.closed.Load() {
+			// close() happens after every producer has stopped, so one
+			// final check drains anything published before the close.
+			v, ok := r.tryPop()
+			r.consumerParked.Store(false)
+			return v, ok
+		}
+		<-r.wake
+		r.consumerParked.Store(false)
+	}
+}
+
+// wakeConsumer posts one wake token if the consumer announced itself
+// parked. The token channel has capacity 1, so concurrent producers
+// collapse into a single wakeup; a stale token only costs the consumer
+// one spurious re-check.
+func (r *batchRing) wakeConsumer() {
+	if r.consumerParked.Load() {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// signalSpace posts one space token if any producer is parked on a full
+// ring. Called by the consumer after every pop.
+func (r *batchRing) signalSpace() {
+	if r.spaceWaiters.Load() > 0 {
+		select {
+		case r.space <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// close marks the ring closed and wakes the consumer so it can observe
+// the close. Producers must already have stopped.
+func (r *batchRing) close() {
+	r.closed.Store(true)
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// len approximates the queued item count (reserved-but-unpublished slots
+// count as queued); good enough for the stats gauge it feeds.
+func (r *batchRing) len() int {
+	t, h := r.tail.Load(), r.head.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}

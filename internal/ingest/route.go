@@ -43,9 +43,14 @@ func RoutedBatchHandler(col *core.Collector, route Router) http.Handler {
 		}
 		ip := core.ClientIPFromRequest(r)
 		body := http.MaxBytesReader(w, r.Body, maxBatchBytes)
-		dec := NewDecoder(body)
+		st := getDecodeState(body)
+		// The whole-batch buffer and every report's chain alias pooled
+		// decode memory; put() retires them after the ingest loop below,
+		// by which point all retained state owns its own bytes.
+		defer st.put()
+		dec := st.dec
 		var res BatchResult
-		var reports []Report
+		reports := st.reports
 		status := http.StatusOK
 		for {
 			rep, err := dec.Next()
@@ -68,6 +73,7 @@ func RoutedBatchHandler(col *core.Collector, route Router) http.Handler {
 			}
 			reports = append(reports, rep)
 		}
+		st.reports = reports // hand any growth back to the pool
 		if status == http.StatusOK {
 			for _, rep := range reports {
 				if route.Owns(rep.Host) {

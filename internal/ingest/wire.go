@@ -154,6 +154,14 @@ type Decoder struct {
 	readHeader bool
 	// v1 marks a "TFW1" stream, whose frames carry no trace field.
 	v1 bool
+	// arena, when non-nil, receives decoded DER bytes and chain headers
+	// in place (see Arena for the lifetime contract); host names intern
+	// through it. Nil decodes into per-report heap copies.
+	arena *Arena
+	// hostBuf stages the host name before it becomes a string (plain
+	// path) or an interned string (arena path): no transient allocation
+	// either way.
+	hostBuf [MaxWireHostLen]byte
 }
 
 // NewDecoder returns a streaming decoder over r.
@@ -161,24 +169,43 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{r: bufio.NewReader(r)}
 }
 
+// NewArenaDecoder returns a streaming decoder whose reports decode in
+// place into a: DER slices and chain headers alias arena memory and are
+// valid until a.Reset(). The caller owns the arena lifecycle.
+func NewArenaDecoder(r io.Reader, a *Arena) *Decoder {
+	return &Decoder{r: bufio.NewReader(r), arena: a}
+}
+
+// Reset rearms the decoder for a new stream, keeping its read buffer and
+// arena binding (the arena itself is not reset — that is the caller's
+// batch-lifetime decision). The pooling hook for per-request handlers.
+func (d *Decoder) Reset(r io.Reader) {
+	d.r.Reset(r)
+	d.readHeader = false
+	d.v1 = false
+}
+
 // Next returns the next report. It returns io.EOF exactly at a clean
 // stream end (after the header, on a frame boundary); a stream truncated
 // mid-frame yields io.ErrUnexpectedEOF.
 func (d *Decoder) Next() (Report, error) {
 	if !d.readHeader {
-		var got [4]byte
-		if _, err := io.ReadFull(d.r, got[:]); err != nil {
+		// Stage the magic through hostBuf: a local array would escape
+		// through the io.ReadFull interface call (one heap allocation
+		// per stream), and the host field cannot be in the buffer yet.
+		hb := d.hostBuf[:4]
+		if _, err := io.ReadFull(d.r, hb); err != nil {
 			if errors.Is(err, io.EOF) {
 				return Report{}, io.EOF
 			}
 			return Report{}, fmt.Errorf("ingest: reading wire header: %w", err)
 		}
-		switch got {
+		switch [4]byte(hb) {
 		case wireMagic:
 		case wireMagicV1:
 			d.v1 = true
 		default:
-			return Report{}, fmt.Errorf("ingest: bad wire magic %q (want %q or %q)", got[:], wireMagic[:], wireMagicV1[:])
+			return Report{}, fmt.Errorf("ingest: bad wire magic %q (want %q or %q)", hb, wireMagic[:], wireMagicV1[:])
 		}
 		d.readHeader = true
 	}
@@ -209,9 +236,15 @@ func (d *Decoder) Next() (Report, error) {
 	if hostLen == 0 || hostLen > MaxWireHostLen {
 		return Report{}, fmt.Errorf("ingest: host length %d outside [1,%d]", hostLen, MaxWireHostLen)
 	}
-	host := make([]byte, hostLen)
-	if _, err := io.ReadFull(d.r, host); err != nil {
+	hostBytes := d.hostBuf[:hostLen]
+	if _, err := io.ReadFull(d.r, hostBytes); err != nil {
 		return Report{}, fmt.Errorf("ingest: reading host: %w", noEOF(err))
+	}
+	var host string
+	if d.arena != nil {
+		host = d.arena.internHost(hostBytes)
+	} else {
+		host = string(hostBytes)
 	}
 
 	certCount, err := binary.ReadUvarint(d.r)
@@ -221,7 +254,12 @@ func (d *Decoder) Next() (Report, error) {
 	if certCount == 0 || certCount > MaxWireChainCerts {
 		return Report{}, fmt.Errorf("ingest: chain of %d certs outside [1,%d]", certCount, MaxWireChainCerts)
 	}
-	chain := make([][]byte, certCount)
+	var chain [][]byte
+	if d.arena != nil {
+		chain = d.arena.headers(int(certCount))
+	} else {
+		chain = make([][]byte, certCount)
+	}
 	for i := range chain {
 		certLen, err := binary.ReadUvarint(d.r)
 		if err != nil {
@@ -230,13 +268,18 @@ func (d *Decoder) Next() (Report, error) {
 		if certLen == 0 || certLen > MaxWireCertLen {
 			return Report{}, fmt.Errorf("ingest: certificate of %d bytes outside [1,%d]", certLen, MaxWireCertLen)
 		}
-		der := make([]byte, certLen)
+		var der []byte
+		if d.arena != nil {
+			der = d.arena.alloc(int(certLen))
+		} else {
+			der = make([]byte, certLen)
+		}
 		if _, err := io.ReadFull(d.r, der); err != nil {
 			return Report{}, fmt.Errorf("ingest: reading certificate: %w", noEOF(err))
 		}
 		chain[i] = der
 	}
-	return Report{Host: string(host), ChainDER: chain, Trace: trace}, nil
+	return Report{Host: host, ChainDER: chain, Trace: trace}, nil
 }
 
 // noEOF maps io.EOF to io.ErrUnexpectedEOF: inside a frame, running out

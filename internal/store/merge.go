@@ -59,12 +59,9 @@ func mergeOne(out, db *DB) {
 	mergeAggMap(out.byCountry, db.byCountry)
 	for k, v := range db.byHostCat {
 		a := out.byHostCat[k]
-		if a == nil {
-			a = &Agg{}
-			out.byHostCat[k] = a
-		}
 		a.Tested += v.Tested
 		a.Proxied += v.Proxied
+		out.byHostCat[k] = a
 	}
 	mergeAggMap(out.byCampaign, db.byCampaign)
 
@@ -118,15 +115,12 @@ func mergeOne(out, db *DB) {
 	out.proxied = append(out.proxied, db.proxied...)
 }
 
-func mergeAggMap(dst, src map[string]*Agg) {
+func mergeAggMap(dst, src map[string]Agg) {
 	for k, v := range src {
 		a := dst[k]
-		if a == nil {
-			a = &Agg{}
-			dst[k] = a
-		}
 		a.Tested += v.Tested
 		a.Proxied += v.Proxied
+		dst[k] = a
 	}
 }
 

@@ -133,7 +133,7 @@ func DecodeSnapshot(b []byte) (*DB, error) {
 		if p, b, err = readSnapUvarint(b, "host category proxied"); err != nil {
 			return nil, err
 		}
-		db.byHostCat[hostdb.Category(k)] = &Agg{Tested: int(t), Proxied: int(p)}
+		db.byHostCat[hostdb.Category(k)] = Agg{Tested: int(t), Proxied: int(p)}
 	}
 	if b, err = decodeAggMap(b, db.byCampaign, "campaign"); err != nil {
 		return nil, err
@@ -226,7 +226,7 @@ func DecodeSnapshot(b []byte) (*DB, error) {
 	return db, nil
 }
 
-func appendAggMap(dst []byte, m map[string]*Agg) []byte {
+func appendAggMap(dst []byte, m map[string]Agg) []byte {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
@@ -242,7 +242,7 @@ func appendAggMap(dst []byte, m map[string]*Agg) []byte {
 	return dst
 }
 
-func decodeAggMap(b []byte, m map[string]*Agg, what string) ([]byte, error) {
+func decodeAggMap(b []byte, m map[string]Agg, what string) ([]byte, error) {
 	count, b, err := readSnapUvarint(b, what+" count")
 	if err != nil {
 		return nil, err
@@ -259,7 +259,7 @@ func decodeAggMap(b []byte, m map[string]*Agg, what string) ([]byte, error) {
 		if p, b, err = readSnapUvarint(b, what+" proxied"); err != nil {
 			return nil, err
 		}
-		m[k] = &Agg{Tested: int(t), Proxied: int(p)}
+		m[k] = Agg{Tested: int(t), Proxied: int(p)}
 	}
 	return b, nil
 }
@@ -338,7 +338,7 @@ func sortedKeysStr(m map[string]int) []string {
 	return keys
 }
 
-func sortedKeysInt(m map[hostdb.Category]*Agg) []hostdb.Category {
+func sortedKeysInt(m map[hostdb.Category]Agg) []hostdb.Category {
 	keys := make([]hostdb.Category, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

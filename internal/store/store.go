@@ -75,9 +75,9 @@ type DB struct {
 
 	totals Agg
 
-	byCountry  map[string]*Agg
-	byHostCat  map[hostdb.Category]*Agg
-	byCampaign map[string]*Agg
+	byCountry  map[string]Agg
+	byHostCat  map[hostdb.Category]Agg
+	byCampaign map[string]Agg
 
 	issuerOrgs *stats.Counter
 	categories map[classify.Category]int
@@ -103,9 +103,9 @@ const NullIssuerKey = "Null"
 // (<= 0 means unlimited; the studies produce at most ~51k).
 func New(retainLimit int) *DB {
 	return &DB{
-		byCountry:        make(map[string]*Agg),
-		byHostCat:        make(map[hostdb.Category]*Agg),
-		byCampaign:       make(map[string]*Agg),
+		byCountry:        make(map[string]Agg),
+		byHostCat:        make(map[hostdb.Category]Agg),
+		byCampaign:       make(map[string]Agg),
 		issuerOrgs:       stats.NewCounter(),
 		categories:       make(map[classify.Category]int),
 		productConns:     make(map[string]int),
@@ -137,40 +137,37 @@ func (db *DB) IngestBatch(ms []core.Measurement) {
 
 func (db *DB) ingestLocked(m core.Measurement) {
 	db.totals.Tested++
+	proxied := m.Obs.Proxied
 	country := m.Country
 	if country == "" {
 		country = "??"
 	}
+	// The aggregate maps hold Agg by value: one update costs a second
+	// hash probe for the write-back, but a fresh store populates its key
+	// space without an *Agg heap object per distinct key — at ingest
+	// scale the per-key allocations dominated store construction.
 	ca := db.byCountry[country]
-	if ca == nil {
-		ca = &Agg{}
-		db.byCountry[country] = ca
-	}
 	ca.Tested++
 	ha := db.byHostCat[m.HostCategory]
-	if ha == nil {
-		ha = &Agg{}
-		db.byHostCat[m.HostCategory] = ha
-	}
 	ha.Tested++
+	if proxied {
+		db.totals.Proxied++
+		ca.Proxied++
+		ha.Proxied++
+	}
+	db.byCountry[country] = ca
+	db.byHostCat[m.HostCategory] = ha
 	if m.Campaign != "" {
 		cm := db.byCampaign[m.Campaign]
-		if cm == nil {
-			cm = &Agg{}
-			db.byCampaign[m.Campaign] = cm
-		}
 		cm.Tested++
+		if proxied {
+			cm.Proxied++
+		}
+		db.byCampaign[m.Campaign] = cm
 	}
 
-	if !m.Obs.Proxied {
+	if !proxied {
 		return
-	}
-
-	db.totals.Proxied++
-	ca.Proxied++
-	ha.Proxied++
-	if m.Campaign != "" {
-		db.byCampaign[m.Campaign].Proxied++
 	}
 
 	org := m.Obs.IssuerOrg
@@ -254,7 +251,7 @@ func (db *DB) ByCountry(order CountryOrder) []CountryRow {
 	db.mu.Lock()
 	rows := make([]CountryRow, 0, len(db.byCountry))
 	for code, a := range db.byCountry {
-		rows = append(rows, CountryRow{Code: code, Agg: *a})
+		rows = append(rows, CountryRow{Code: code, Agg: a})
 	}
 	db.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool {
@@ -289,7 +286,7 @@ func (db *DB) ByHostCategory() map[hostdb.Category]Agg {
 	defer db.mu.Unlock()
 	out := make(map[hostdb.Category]Agg, len(db.byHostCat))
 	for k, v := range db.byHostCat {
-		out[k] = *v
+		out[k] = v
 	}
 	return out
 }
@@ -300,7 +297,7 @@ func (db *DB) ByCampaign() map[string]Agg {
 	defer db.mu.Unlock()
 	out := make(map[string]Agg, len(db.byCampaign))
 	for k, v := range db.byCampaign {
-		out[k] = *v
+		out[k] = v
 	}
 	return out
 }
