@@ -1,0 +1,140 @@
+package tlsfof
+
+// Audit-grid conformance suite: the enterprise-appliance battery
+// (internal/audit) run over the full classify database at the fixed
+// cmd/audit seed must render its report cards and acceptance grid
+// byte-identically to the fixtures in testdata/golden/ — and do so twice
+// in a row, so the battery's determinism is itself a pinned property.
+// audit_smoke.txt is the small-battery report the CI smoke step diffs
+// against a live `go run ./cmd/audit` invocation.
+//
+// Regenerate after an intentional change with:
+//
+//	go test -run TestAuditGridGolden -update .
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tlsfof/internal/analysis"
+	"tlsfof/internal/audit"
+	"tlsfof/internal/classify"
+	"tlsfof/internal/store"
+)
+
+// auditSeed matches cmd/audit's -seed default, so the fixtures here are
+// the same bytes the CLI emits.
+const auditSeed = 2016
+
+// smokeProducts is the small battery the CI smoke step runs; one product
+// per behavior class keeps it fast while exercising reject, mask, and
+// no-validation paths.
+const smokeProducts = "Bitdefender,Kurupira.NET,Fortinet,Sendori Inc"
+
+func runAuditBattery(t *testing.T, products []classify.Product) *store.AuditStore {
+	t.Helper()
+	grid, err := audit.Run(audit.Config{
+		Entries: audit.EntriesFromProducts(products),
+		Seed:    auditSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grid
+}
+
+func auditArtifacts(t *testing.T, grid, smoke *store.AuditStore) map[string][]byte {
+	t.Helper()
+	render := func(f func(*bytes.Buffer) error) []byte {
+		var b bytes.Buffer
+		if err := f(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	return map[string][]byte{
+		"audit_cards.txt": render(func(b *bytes.Buffer) error { return analysis.AuditCards(b, grid.Cells()) }),
+		"audit_grid.txt":  render(func(b *bytes.Buffer) error { return analysis.AuditGrid(b, grid.Cells()) }),
+		"audit_smoke.txt": render(func(b *bytes.Buffer) error { return analysis.AuditReport(b, smoke.Cells()) }),
+	}
+}
+
+func smokeProductList(t *testing.T) []classify.Product {
+	t.Helper()
+	var out []classify.Product
+	for _, name := range []string{"Bitdefender", "Kurupira.NET", "Fortinet", "Sendori Inc"} {
+		p := classify.ProductByName(name)
+		if p == nil {
+			t.Fatalf("%s missing from classify database", name)
+		}
+		out = append(out, *p)
+	}
+	return out
+}
+
+func TestAuditGridGolden(t *testing.T) {
+	dir := goldenDir(t)
+
+	full := runAuditBattery(t, classify.KnownProducts)
+	smoke := runAuditBattery(t, smokeProductList(t))
+	artifacts := auditArtifacts(t, full, smoke)
+
+	if *updateGolden {
+		for name, data := range artifacts {
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d audit fixtures in %s", len(artifacts), dir)
+	}
+
+	t.Run("fixtures", func(t *testing.T) {
+		for name, data := range artifacts {
+			want, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("%s: %v (run `go test -run TestAuditGridGolden -update .` to create fixtures)", name, err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Errorf("%s: rendered artifact differs from golden fixture\n--- got ---\n%s\n--- want ---\n%s", name, data, want)
+			}
+		}
+	})
+
+	// Every (product, defect) cell must be exercised: the grid holds
+	// exactly |products| x |defect columns| verdicts, and each product
+	// row covers every column.
+	t.Run("every-cell-exercised", func(t *testing.T) {
+		wantCells := len(classify.KnownProducts) * len(store.AuditDefects)
+		if got := full.Len(); got != wantCells {
+			t.Fatalf("battery recorded %d cells, want %d (%d products x %d columns)",
+				got, wantCells, len(classify.KnownProducts), len(store.AuditDefects))
+		}
+		byProduct := make(map[string]map[string]bool)
+		for _, c := range full.Cells() {
+			if byProduct[c.Product] == nil {
+				byProduct[c.Product] = make(map[string]bool)
+			}
+			byProduct[c.Product][c.Defect] = true
+		}
+		for product, row := range byProduct {
+			for _, defect := range store.AuditDefects {
+				if !row[defect] {
+					t.Errorf("product %q missing cell %q", product, defect)
+				}
+			}
+		}
+	})
+
+	// A second full run must reproduce the first byte-for-byte — the
+	// cmd/audit acceptance criterion, pinned here without shelling out.
+	t.Run("deterministic-rerun", func(t *testing.T) {
+		again := auditArtifacts(t, runAuditBattery(t, classify.KnownProducts), runAuditBattery(t, smokeProductList(t)))
+		for name, data := range artifacts {
+			if !bytes.Equal(again[name], data) {
+				t.Errorf("%s: second battery run differs from the first", name)
+			}
+		}
+	})
+}

@@ -114,6 +114,12 @@ type server struct {
 	// chaos, in cluster mode with -chaos, injects the armed link faults
 	// into every outbound peer connection. Nil otherwise.
 	chaos *faultnet.Controller
+
+	// audits holds cmd/audit battery verdicts POSTed to /audit/ingest,
+	// rendered by /table/audit and /table/audit-cards. Separate from the
+	// measurement pipeline: audit cells are lab verdicts about products,
+	// not field measurements, and do not enter the WAL/snapshot plane.
+	audits *store.AuditStore
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -208,6 +214,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s := &server{
 		cfg: cfg, pipeline: pipeline, node: node, col: col, recovery: recovery, started: time.Now(),
 		reg: reg, tracer: tracer, ring: telemetry.NewEventRing(0), chaos: chaos,
+		audits: store.NewAuditStore(),
 	}
 	for i, info := range recovery {
 		if info.LastSeq > 0 || info.DroppedTail {
@@ -364,6 +371,36 @@ func (s *server) mux() *http.ServeMux {
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			if err := render(w, s.snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	// The audit plane: cmd/audit pushes its battery grid here, the two
+	// audit tables render whatever has been pushed so far.
+	mux.HandleFunc("/audit/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		cells, err := store.DecodeAuditCells(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, c := range cells {
+			s.audits.Record(c)
+		}
+		fmt.Fprintf(w, "ok: %d cells (%d total)\n", len(cells), s.audits.Len())
+	})
+	auditTables := map[string]func(io.Writer, []store.AuditCell) error{
+		"/table/audit":       analysis.AuditGrid,
+		"/table/audit-cards": analysis.AuditCards,
+	}
+	for path, render := range auditTables {
+		render := render
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := render(w, s.audits.Cells()); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
@@ -590,7 +627,7 @@ func main() {
 	if *clusterID != "" {
 		durableNote += fmt.Sprintf(", cluster member %q of [%s]", *clusterID, *clusterPs)
 	}
-	fmt.Printf("reportd: listening on %s with %d ingest shards, obs cache %d%s (POST /report?host=..., POST /ingest/batch, GET /stats, /metrics, /ingest/stats, /cache/stats, /export.csv, /table/{4,5,6,negligence,products})\n",
+	fmt.Printf("reportd: listening on %s with %d ingest shards, obs cache %d%s (POST /report?host=..., POST /ingest/batch, POST /audit/ingest, GET /stats, /metrics, /ingest/stats, /cache/stats, /export.csv, /table/{4,5,6,negligence,products,audit,audit-cards})\n",
 		srv.addr(), *shards, *obsCache, durableNote)
 
 	sig := make(chan os.Signal, 1)

@@ -149,6 +149,88 @@ func TestSIGTERMDrainsAndSnapshots(t *testing.T) {
 	}
 }
 
+func TestAuditIngestAndTables(t *testing.T) {
+	dir := t.TempDir()
+	srv, sig, done := startTestServer(t, dir, 1, 1)
+	defer func() {
+		sig <- syscall.SIGTERM
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	cells := []store.AuditCell{
+		{Product: "TestProxy", Defect: "clean", Accepted: true, Validated: true, OfferedVersion: 0x0303},
+		{Product: "TestProxy", Defect: "expired", Accepted: true, Validated: true},
+		{Product: "TestProxy", Defect: "untrusted-root", Accepted: false, Validated: true},
+	}
+	body, err := json.Marshal(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post("http://"+srv.addr()+"/audit/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/audit/ingest status %d, want 200", resp.StatusCode)
+	}
+
+	// GET on the ingest endpoint must be refused.
+	resp, err = client.Get("http://" + srv.addr() + "/audit/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /audit/ingest status %d, want 405", resp.StatusCode)
+	}
+
+	// A malformed push must 400 without poisoning the store.
+	resp, err = client.Post("http://"+srv.addr()+"/audit/ingest", "application/json",
+		bytes.NewReader([]byte(`[{"defect":"clean"}]`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad /audit/ingest status %d, want 400", resp.StatusCode)
+	}
+
+	for path, want := range map[string]string{
+		"/table/audit-cards": "TestProxy",
+		"/table/audit":       "ACCEPT",
+	} {
+		resp, err := client.Get("http://" + srv.addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var table bytes.Buffer
+		table.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if !bytes.Contains(table.Bytes(), []byte(want)) {
+			t.Fatalf("%s = %q, want it to contain %q", path, table.String(), want)
+		}
+	}
+
+	// The card grade reflects the pushed row: accepts expired only → C.
+	resp, err = client.Get("http://" + srv.addr() + "/table/audit-cards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cards bytes.Buffer
+	cards.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(cards.Bytes(), []byte("C")) || !bytes.Contains(cards.Bytes(), []byte("expired")) {
+		t.Fatalf("/table/audit-cards = %q, want grade C and accepts expired", cards.String())
+	}
+}
+
 func TestBootRecoversPreviousProcess(t *testing.T) {
 	const shards = 2
 	dir := t.TempDir()

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tlsfof/internal/store"
+	"tlsfof/internal/tlswire"
+)
+
+// auditColumns are the grid column headers, aligned with
+// store.AuditDefects (untrusted-root shortened to fit).
+var auditColumns = []string{"clean", "expired", "self-signed", "wrong-name", "untrusted", "revoked"}
+
+// auditByProduct groups cells into per-product defect maps plus the
+// sorted product-name order — the single deterministic layout both
+// renderers share.
+func auditByProduct(cells []store.AuditCell) ([]string, map[string]map[string]store.AuditCell) {
+	grid := make(map[string]map[string]store.AuditCell)
+	var names []string
+	for _, c := range cells {
+		row, ok := grid[c.Product]
+		if !ok {
+			row = make(map[string]store.AuditCell)
+			grid[c.Product] = row
+			names = append(names, c.Product)
+		}
+		row[c.Defect] = c
+	}
+	sort.Strings(names)
+	return names, grid
+}
+
+// AuditGrade derives one product's letter grade from its battery row,
+// following the Waked et al. severity ordering: trusting an untrusted or
+// self-signed origin is a full compromise (F); accepting a wrong name
+// lets any certificate holder impersonate any site (D); accepting
+// expired or revoked certificates is negligence with a narrower window
+// (C). Offering a downgraded version or weak ciphers upstream each cost
+// one letter; a product that cannot even reach a clean origin fails
+// outright.
+func AuditGrade(row map[string]store.AuditCell) byte {
+	accepts := func(d string) bool { c, ok := row[d]; return ok && c.Accepted }
+	grade := byte('A')
+	switch {
+	case accepts("untrusted-root") || accepts("self-signed"):
+		grade = 'F'
+	case accepts("wrong-name"):
+		grade = 'D'
+	case accepts("expired") || accepts("revoked"):
+		grade = 'C'
+	}
+	drop := func() {
+		if grade < 'F' {
+			grade++
+		}
+		if grade == 'E' {
+			grade = 'F'
+		}
+	}
+	if clean, ok := row["clean"]; ok {
+		if !clean.Accepted {
+			return 'F'
+		}
+		if clean.OfferedVersion != 0 && clean.OfferedVersion < tlswire.VersionTLS12 {
+			drop()
+		}
+		if clean.WeakCiphers {
+			drop()
+		}
+	}
+	return grade
+}
+
+// AuditGrid renders the raw per-(product, defect) verdict matrix.
+// Accepting a defect prints in caps — the negligent cells are the ones
+// that should jump out — while rejecting prints lowercase; the clean
+// control prints ok/BROKEN.
+func AuditGrid(w io.Writer, cells []store.AuditCell) error {
+	names, grid := auditByProduct(cells)
+	const width = 112
+	fmt.Fprintln(w, "Audit Grid: upstream-defect acceptance by product")
+	line(w, width)
+	fmt.Fprintf(w, "%-40s", "Product")
+	for _, col := range auditColumns {
+		fmt.Fprintf(w, " %-11s", col)
+	}
+	fmt.Fprintln(w)
+	line(w, width)
+	for _, name := range names {
+		row := grid[name]
+		fmt.Fprintf(w, "%-40s", name)
+		for _, defect := range store.AuditDefects {
+			c, ok := row[defect]
+			verdict := "-"
+			switch {
+			case !ok:
+			case defect == "clean" && c.Accepted:
+				verdict = "ok"
+			case defect == "clean":
+				verdict = "BROKEN"
+			case c.Accepted:
+				verdict = "ACCEPT"
+			default:
+				verdict = "reject"
+			}
+			fmt.Fprintf(w, " %-11s", verdict)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// AuditCards renders the per-product report card: letter grade, whether
+// the product validates at all, its upstream offer, and the defect list
+// it accepts.
+func AuditCards(w io.Writer, cells []store.AuditCell) error {
+	names, grid := auditByProduct(cells)
+	const width = 126
+	fmt.Fprintln(w, "Audit Report Cards (Waked et al. upstream-validation axes)")
+	line(w, width)
+	fmt.Fprintf(w, "%-40s %-5s %-9s %-9s %-5s %-5s %s\n",
+		"Product", "Grade", "Validates", "Offer", "Relay", "Weak", "Accepts")
+	line(w, width)
+	for _, name := range names {
+		row := grid[name]
+		var accepted []string
+		validated := false
+		offer := "-"
+		relay, weak := "no", "no"
+		for _, defect := range store.AuditDefects {
+			c, ok := row[defect]
+			if !ok {
+				continue
+			}
+			if c.Validated {
+				validated = true
+			}
+			if defect == "clean" {
+				if c.OfferedVersion != 0 {
+					offer = tlswire.VersionName(c.OfferedVersion)
+				}
+				if c.RelayedVersion {
+					relay = "yes"
+				}
+				if c.WeakCiphers {
+					weak = "yes"
+				}
+				continue
+			}
+			if c.Accepted {
+				accepted = append(accepted, defect)
+			}
+		}
+		acceptsStr := "none"
+		if len(accepted) > 0 {
+			acceptsStr = strings.Join(accepted, "+")
+		}
+		validatesStr := "no"
+		if validated {
+			validatesStr = "yes"
+		}
+		fmt.Fprintf(w, "%-40s   %c   %-9s %-9s %-5s %-5s %s\n",
+			name, AuditGrade(row), validatesStr, offer, relay, weak, acceptsStr)
+	}
+	return nil
+}
+
+// AuditReport renders the full audit artifact — report cards, a blank
+// line, then the raw grid. cmd/audit, reportd, and the conformance test
+// all go through here so the three outputs are byte-identical.
+func AuditReport(w io.Writer, cells []store.AuditCell) error {
+	if err := AuditCards(w, cells); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return AuditGrid(w, cells)
+}

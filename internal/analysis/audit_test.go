@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tlsfof/internal/store"
+	"tlsfof/internal/tlswire"
+)
+
+// row builds a battery row for grading tests: accepted lists the defects
+// the product tolerates; the clean cell is always present and accepted.
+func row(clean store.AuditCell, accepted ...string) map[string]store.AuditCell {
+	m := map[string]store.AuditCell{"clean": clean}
+	for _, d := range store.AuditDefects[1:] {
+		c := store.AuditCell{Defect: d}
+		for _, a := range accepted {
+			if a == d {
+				c.Accepted = true
+			}
+		}
+		m[d] = c
+	}
+	return m
+}
+
+func cleanCell(version uint16, weak bool) store.AuditCell {
+	return store.AuditCell{Defect: "clean", Accepted: true, OfferedVersion: version, WeakCiphers: weak}
+}
+
+func TestAuditGrade(t *testing.T) {
+	strong := cleanCell(tlswire.VersionTLS12, false)
+	cases := []struct {
+		name string
+		row  map[string]store.AuditCell
+		want byte
+	}{
+		{"rejects everything", row(strong), 'A'},
+		{"accepts expired", row(strong, "expired"), 'C'},
+		{"accepts revoked", row(strong, "revoked"), 'C'},
+		{"accepts wrong-name", row(strong, "wrong-name"), 'D'},
+		{"wrong-name trumps expired", row(strong, "wrong-name", "expired"), 'D'},
+		{"accepts self-signed", row(strong, "self-signed"), 'F'},
+		{"accepts untrusted-root", row(strong, "untrusted-root"), 'F'},
+		{"untrusted trumps all", row(strong, "untrusted-root", "expired", "wrong-name"), 'F'},
+		{"downgraded offer costs a letter", row(cleanCell(tlswire.VersionTLS10, false)), 'B'},
+		{"weak ciphers cost a letter", row(cleanCell(tlswire.VersionTLS12, true)), 'B'},
+		{"both modifiers", row(cleanCell(tlswire.VersionTLS10, true)), 'C'},
+		{"modifiers skip E", row(cleanCell(tlswire.VersionTLS10, true), "wrong-name"), 'F'},
+		{"modifier on F stays F", row(cleanCell(tlswire.VersionTLS10, true), "untrusted-root"), 'F'},
+		{"clean rejected fails outright", map[string]store.AuditCell{
+			"clean": {Defect: "clean", Accepted: false},
+		}, 'F'},
+		{"empty row is ungraded A", map[string]store.AuditCell{}, 'A'},
+	}
+	for _, tc := range cases {
+		if got := AuditGrade(tc.row); got != tc.want {
+			t.Errorf("%s: grade %c, want %c", tc.name, got, tc.want)
+		}
+	}
+}
+
+func battery(t *testing.T) []store.AuditCell {
+	t.Helper()
+	s := store.NewAuditStore()
+	s.Record(store.AuditCell{Product: "Strict", Defect: "clean", Accepted: true, Validated: true,
+		OfferedVersion: tlswire.VersionTLS12})
+	for _, d := range store.AuditDefects[1:] {
+		s.Record(store.AuditCell{Product: "Strict", Defect: d, Accepted: false, Validated: true})
+	}
+	s.Record(store.AuditCell{Product: "Sloppy", Defect: "clean", Accepted: true,
+		OfferedVersion: tlswire.VersionTLS10, WeakCiphers: true, RelayedVersion: true})
+	for _, d := range store.AuditDefects[1:] {
+		s.Record(store.AuditCell{Product: "Sloppy", Defect: d, Accepted: true})
+	}
+	return s.Cells()
+}
+
+func TestAuditGridRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AuditGrid(&buf, battery(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Audit Grid", "Strict", "Sloppy", "ACCEPT", "reject", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid output missing %q:\n%s", want, out)
+		}
+	}
+	// Strict rejects every defect: its row has no ACCEPT.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Strict") && strings.Contains(line, "ACCEPT") {
+			t.Errorf("strict row shows ACCEPT: %q", line)
+		}
+		if strings.HasPrefix(line, "Sloppy") && strings.Contains(line, "reject") {
+			t.Errorf("sloppy row shows reject: %q", line)
+		}
+	}
+}
+
+func TestAuditCardsRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AuditCards(&buf, battery(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var strictLine, sloppyLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Strict") {
+			strictLine = line
+		}
+		if strings.HasPrefix(line, "Sloppy") {
+			sloppyLine = line
+		}
+	}
+	if strictLine == "" || sloppyLine == "" {
+		t.Fatalf("cards output missing product rows:\n%s", out)
+	}
+	for _, want := range []string{"A", "yes", "TLSv1.2", "none"} {
+		if !strings.Contains(strictLine, want) {
+			t.Errorf("strict card missing %q: %q", want, strictLine)
+		}
+	}
+	for _, want := range []string{"F", "TLSv1.0", "yes", "expired+self-signed+wrong-name+untrusted-root+revoked"} {
+		if !strings.Contains(sloppyLine, want) {
+			t.Errorf("sloppy card missing %q: %q", want, sloppyLine)
+		}
+	}
+}
+
+func TestAuditReportComposesBoth(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AuditReport(&buf, battery(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	cardsAt := strings.Index(out, "Audit Report Cards")
+	gridAt := strings.Index(out, "Audit Grid")
+	if cardsAt < 0 || gridAt < 0 || gridAt < cardsAt {
+		t.Fatalf("report must render cards then grid:\n%s", out)
+	}
+}
+
+func TestAuditRenderersDeterministic(t *testing.T) {
+	cells := battery(t)
+	var a, b bytes.Buffer
+	if err := AuditReport(&a, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditReport(&b, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same cells differ")
+	}
+}

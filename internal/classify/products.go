@@ -127,6 +127,17 @@ var KnownProducts = []Product{
 	{Name: "Telkom Indonesia", Category: Telecom},
 }
 
+// DisplayName returns the product's human-readable label: the canonical
+// name, falling back to the certificate common name for records (like the
+// IopFailZeroAccessCreate trojan) known only by what they write into
+// their forgeries.
+func (p *Product) DisplayName() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.CommonName
+}
+
 // ProductByName returns the database record whose canonical name, common
 // name, or alias matches s exactly, or nil.
 func ProductByName(s string) *Product {

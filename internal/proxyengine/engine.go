@@ -53,6 +53,10 @@ type Decision struct {
 	// Masked is true when the upstream was invalid but the proxy forged a
 	// trusted substitute anyway — the Kurupira flaw in action.
 	Masked bool
+	// Defects is the per-axis verdict on the upstream chain (empty when
+	// validation is disabled or the chain is clean); the audit grid
+	// grades products by which of these they accept.
+	Defects DefectSet
 }
 
 // Engine forges substitute certificates per a Profile. It owns the root CA
@@ -135,15 +139,23 @@ func (e *Engine) Decide(host string, upstream []*x509.Certificate, upstreamDER [
 	}
 
 	valid := true
+	var defects DefectSet
 	if e.Profile.UpstreamRoots != nil && len(upstream) > 0 {
-		valid = e.validateUpstream(host, upstream)
-		if !valid && e.Profile.RejectInvalidUpstream {
-			return Decision{Action: ActionBlock, UpstreamValid: false}, ErrUpstreamInvalid
+		pol := e.Profile.Upstream
+		defects = ClassifyUpstreamChain(host, upstream, e.Profile.UpstreamRoots, e.clockNow(), pol.Revoked)
+		valid = defects.Empty()
+		// The per-defect matrix decides; the legacy whole-chain flags
+		// keep their original semantics as overrides (Bitdefender
+		// rejects any invalid chain, Kurupira masks every one).
+		rejected := defects.RejectedBy(pol)
+		if e.Profile.RejectInvalidUpstream {
+			rejected = defects
 		}
-		if !valid && !e.Profile.MaskInvalidUpstream {
-			// Without an explicit masking or rejecting stance a typical
-			// product forges anyway; record validity for the caller.
-			valid = false
+		if e.Profile.MaskInvalidUpstream {
+			rejected = 0
+		}
+		if !rejected.Empty() {
+			return Decision{Action: ActionBlock, UpstreamValid: false, Defects: defects}, ErrUpstreamInvalid
 		}
 	}
 
@@ -156,22 +168,8 @@ func (e *Engine) Decide(host string, upstream []*x509.Certificate, upstreamDER [
 		ChainDER:      chain,
 		UpstreamValid: valid,
 		Masked:        !valid,
+		Defects:       defects,
 	}, nil
-}
-
-func (e *Engine) validateUpstream(host string, upstream []*x509.Certificate) bool {
-	inter := x509.NewCertPool()
-	for _, c := range upstream[1:] {
-		inter.AddCert(c)
-	}
-	opts := x509.VerifyOptions{
-		Roots:         e.Profile.UpstreamRoots,
-		Intermediates: inter,
-		DNSName:       host,
-		CurrentTime:   e.clockNow(),
-	}
-	_, err := upstream[0].Verify(opts)
-	return err == nil
 }
 
 // forge returns the cached or freshly minted substitute chain for host.

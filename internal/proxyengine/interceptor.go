@@ -56,10 +56,20 @@ func NewInterceptor(engine *Engine, dial Dialer) *Interceptor {
 
 // upstreamChain fetches (and caches) the authoritative chain for host by
 // performing the proxy's own handshake upstream — the right-hand TLS
-// connection in Figure 3.
-func (ic *Interceptor) upstreamChain(host string) ([][]byte, error) {
+// connection in Figure 3. The offer on that handshake (TLS version,
+// cipher list) is the profile's upstream policy in action: a product
+// with a hardcoded old stack downgrades every client behind it here,
+// and a version-relaying product re-dials per client version (the cache
+// key carries the offered version in that case).
+func (ic *Interceptor) upstreamChain(host string, clientVersion uint16) ([][]byte, error) {
+	pol := ic.Engine.Profile.Upstream
+	version := pol.OfferVersion(clientVersion)
+	key := host
+	if pol.RelayClientVersion {
+		key = fmt.Sprintf("%s|%04x", host, version)
+	}
 	ic.mu.Lock()
-	chain, ok := ic.upstream[host]
+	chain, ok := ic.upstream[key]
 	ic.mu.Unlock()
 	if ok {
 		return chain, nil
@@ -73,12 +83,17 @@ func (ic *Interceptor) upstreamChain(host string) ([][]byte, error) {
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	res, err := tlswire.Probe(conn, tlswire.ProbeOptions{ServerName: host, Timeout: timeout})
+	res, err := tlswire.Probe(conn, tlswire.ProbeOptions{
+		ServerName:   host,
+		Version:      version,
+		CipherSuites: pol.OfferCiphers(),
+		Timeout:      timeout,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("proxyengine: upstream probe %q: %w", host, err)
 	}
 	ic.mu.Lock()
-	ic.upstream[host] = res.ChainDER
+	ic.upstream[key] = res.ChainDER
 	ic.mu.Unlock()
 	return res.ChainDER, nil
 }
@@ -165,7 +180,7 @@ func (ic *Interceptor) HandleConn(clientConn net.Conn) error {
 	}
 
 	upstreamStart := ic.stageStart()
-	upstreamDER, err := ic.upstreamChain(host)
+	upstreamDER, err := ic.upstreamChain(host, cs.ch.Version)
 	if ic.Tracer != nil {
 		ic.Tracer.Record(trace, telemetry.StageMitmUpstrm, upstreamStart, time.Since(upstreamStart))
 	}

@@ -67,6 +67,12 @@ type Profile struct {
 	// upstream chains; nil disables upstream validation entirely (the
 	// default for sloppy products).
 	UpstreamRoots *x509.CertPool
+
+	// Upstream is the origin-facing stance: per-defect accept/reject,
+	// the revocation hook, and version/cipher negotiation behavior. The
+	// zero value preserves the legacy flags' semantics; FromProduct
+	// fills it from DefaultUpstreamPolicy.
+	Upstream UpstreamPolicy
 }
 
 // FromProduct derives a Profile from a classify product record, translating
@@ -105,6 +111,7 @@ func FromProduct(p *classify.Product) Profile {
 	}
 	prof.MaskInvalidUpstream = p.MasksInvalidUpstream
 	prof.RejectInvalidUpstream = p.RejectsInvalidUpstream
+	prof.Upstream = DefaultUpstreamPolicy(p)
 	if p.WhitelistsWhales {
 		prof.Whitelist = WhaleWhitelist
 	}

@@ -29,6 +29,26 @@ var DefaultCipherSuites = []uint16{
 	TLSRSAWithRC4128SHA,
 }
 
+// StrongCipherSuites is DefaultCipherSuites with the export-grade
+// stragglers (3DES, RC4) removed — the offer a careful proxy makes on its
+// origin-facing leg. Order is preserved from the default list.
+var StrongCipherSuites = []uint16{
+	TLSECDHERSAWithAES128GCM256,
+	TLSRSAWithAES128GCMSHA256,
+	TLSECDHERSAWithAES128CBCSHA,
+	TLSECDHERSAWithAES256CBCSHA,
+	TLSRSAWithAES128CBCSHA256,
+	TLSRSAWithAES128CBCSHA,
+	TLSRSAWithAES256CBCSHA,
+}
+
+// WeakCipherSuite reports whether id is one of the suites a 2016-era
+// audit would flag in an upstream offer (RC4 per RFC 7465, 3DES per
+// Sweet32).
+func WeakCipherSuite(id uint16) bool {
+	return id == TLSRSAWithRC4128SHA || id == TLSRSAWith3DESEDECBCSHA
+}
+
 var cipherSuiteNames = map[uint16]string{
 	TLSRSAWithRC4128SHA:         "TLS_RSA_WITH_RC4_128_SHA",
 	TLSRSAWith3DESEDECBCSHA:     "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
